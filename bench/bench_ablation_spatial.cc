@@ -1,0 +1,96 @@
+// Ablations over the neighborhood-search design choices.
+//
+//   1. kd-tree leaf size        -- build/query tradeoff of the baseline
+//   2. kd-tree neighbor caching -- the baseline's two-step update vs lazy
+//   3. uniform grid box length  -- box = interaction radius is the sweet
+//                                  spot the paper's 27-box scheme assumes
+#include "common.h"
+#include "core/random.h"
+#include "core/timer.h"
+
+namespace {
+
+using namespace biosim;
+
+ResourceManager MakeCloud(size_t n, double density) {
+  ResourceManager rm;
+  Random rng(42);
+  double space = bench::SpaceForDensity(n, 10.0, density);
+  rm.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    NewAgentSpec s;
+    s.position = rng.UniformInCube(0.0, space);
+    s.diameter = 10.0;
+    rm.AddAgent(std::move(s));
+  }
+  return rm;
+}
+
+/// Wall ms of `reps` update+query-all rounds for an environment.
+template <typename Env>
+std::pair<double, double> Measure(Env& env, const ResourceManager& rm,
+                                  const Param& param, int reps) {
+  double build_ms = 0.0, query_ms = 0.0;
+  size_t found = 0;
+  for (int r = 0; r < reps; ++r) {
+    Timer tb;
+    env.Update(rm, param, ExecMode::kSerial);
+    build_ms += tb.ElapsedMs();
+    Timer tq;
+    for (size_t q = 0; q < rm.size(); ++q) {
+      env.ForEachNeighborWithinRadius(q, rm, env.interaction_radius(),
+                                      [&](AgentIndex, double) { ++found; });
+    }
+    query_ms += tq.ElapsedMs();
+  }
+  if (found == SIZE_MAX) {  // defeat optimizer, never true
+    std::printf("%zu", found);
+  }
+  return {build_ms / reps, query_ms / reps};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::Options::Parse(argc, argv);
+  size_t agents = opts.num_agents > 0 ? opts.num_agents : 30000;
+  Param param;
+  ResourceManager rm = MakeCloud(agents, 27.0);
+  int reps = 3;
+
+  bench::PrintHeader("Ablation 1 -- kd-tree leaf size (cached baseline)");
+  std::printf("%10s %12s %12s %12s\n", "leaf_size", "build_ms", "query_ms",
+              "total_ms");
+  for (size_t leaf : {4, 8, 16, 32, 64, 128}) {
+    KdTreeEnvironment env(leaf);
+    auto [b, q] = Measure(env, rm, param, reps);
+    std::printf("%10zu %12.2f %12.2f %12.2f\n", leaf, b, q, b + q);
+  }
+
+  bench::PrintHeader("Ablation 2 -- kd-tree: cached neighbor lists vs lazy");
+  for (bool cached : {true, false}) {
+    KdTreeEnvironment env(16, cached);
+    auto [b, q] = Measure(env, rm, param, reps);
+    std::printf("%-8s update_ms %8.2f   query_ms %8.2f   total %8.2f\n",
+                cached ? "cached" : "lazy", b, q, b + q);
+  }
+  std::printf(
+      "(the baseline caches: it pays in the update step — the 36%% slice of\n"
+      "the paper's Fig. 3 — and queries from flat arrays afterwards)\n");
+
+  bench::PrintHeader(
+      "Ablation 3 -- uniform grid box length (radius = 10)");
+  std::printf("%12s %12s %12s %12s %14s\n", "box_length", "build_ms",
+              "query_ms", "total_ms", "agents_per_box");
+  for (double box : {10.0, 12.5, 15.0, 20.0, 30.0, 40.0}) {
+    UniformGridEnvironment env(box);
+    auto [b, q] = Measure(env, rm, param, reps);
+    std::printf("%12.1f %12.2f %12.2f %12.2f %14.2f\n", box, b, q, b + q,
+                env.MeanAgentsPerBox());
+  }
+  std::printf(
+      "(box = interaction radius minimizes the candidate volume: larger\n"
+      "boxes scan 27x more space than needed, smaller ones would miss\n"
+      "neighbors under the 27-box scheme)\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Fig. 10 + Fig. 11: benchmark B (density sweep) on system B.
+//
+// N agents at random positions in a cube sized for a target mean
+// neighborhood density; max displacement 0 keeps the density constant over
+// the simulated time. The CPU baseline (kd-tree) is measured serially and
+// projected to 4/8/16/32/64 threads with the system-B CPU model (<=32
+// threads pinned to one NUMA domain, like the paper's taskset runs); the
+// GPU entry is the best implementation (version II) simulated on the
+// Tesla V100 model.
+#include <vector>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace biosim;
+  auto opts = bench::Options::Parse(argc, argv);
+  size_t agents = opts.BenchmarkBAgents();
+
+  bench::PrintHeader("Fig. 10 / Fig. 11 -- benchmark B on system B");
+  std::printf("agents: %zu, iterations: %d%s\n\n", agents, opts.iterations,
+              opts.full ? " (paper scale)" : "");
+
+  perfmodel::CpuSpec cpu_b = perfmodel::CpuSpec::XeonGold6130_x2();
+  perfmodel::CpuScalingModel baseline_model(
+      cpu_b, perfmodel::WorkloadCharacter::KdTreeMechanics());
+  const std::vector<double> densities{6, 13, 27, 37, 47};
+  const std::vector<int> thread_counts{4, 8, 16, 32, 64};
+
+  struct Row {
+    double density_target;
+    double density_measured;
+    double serial_ms;
+    std::vector<double> mt_ms;
+    double gpu_ms;
+  };
+  std::vector<Row> rows;
+
+  for (double n : densities) {
+    Row row;
+    row.density_target = n;
+
+    // --- measured serial baseline (kd-tree) -----------------------------
+    {
+      Param param;
+      Simulation sim(param);
+      sim.SetEnvironment(std::make_unique<KdTreeEnvironment>());
+      sim.SetExecMode(ExecMode::kSerial);
+      bench::SetUpBenchmarkB(&sim, agents, n);
+      // Measure the realized density with a uniform grid on the same
+      // population (box = interaction radius).
+      {
+        UniformGridEnvironment probe;
+        probe.Update(sim.rm(), sim.param(), ExecMode::kSerial);
+        row.density_measured = probe.MeanNeighborCount(
+            sim.rm(), std::max<size_t>(1, sim.rm().size() / 5000));
+      }
+      bench::CpuRun r = bench::RunCpuMechanics(&sim, opts.iterations);
+      row.serial_ms = r.total_ms;
+    }
+
+    // --- projected thread counts (<=32 threads: one NUMA domain) --------
+    for (int t : thread_counts) {
+      row.mt_ms.push_back(
+          baseline_model.ProjectMs(row.serial_ms, t, /*single_socket=*/t <= 32));
+    }
+
+    // --- simulated GPU version II on the V100 ---------------------------
+    {
+      Param param;
+      Simulation sim(param);
+      sim.SetEnvironment(std::make_unique<NullEnvironment>());
+      gpu::GpuMechanicsOptions gopts =
+          gpu::GpuMechanicsOptions::Version(2, gpusim::DeviceSpec::TeslaV100());
+      gopts.meter_stride = opts.meter_stride;
+      gopts.fixed_box_length = 10.0;  // = interaction radius; fixed, like the
+                                      // frozen benchmark-B grid
+      auto op = std::make_unique<gpu::GpuMechanicalOp>(gopts);
+      gpu::GpuMechanicalOp* op_ptr = op.get();
+      sim.SetMechanicsBackend(std::move(op));
+      bench::SetUpBenchmarkB(&sim, agents, n);
+      bench::GpuRun r = bench::RunGpuMechanics(&sim, op_ptr, opts.iterations);
+      row.gpu_ms = r.TotalMs();
+    }
+
+    rows.push_back(row);
+  }
+
+  // --- Fig. 10: runtimes ---------------------------------------------------
+  std::printf("Fig. 10 -- runtime (ms) vs neighborhood density\n");
+  std::printf("%8s %8s |", "n(tgt)", "n(meas)");
+  for (int t : thread_counts) {
+    std::printf(" %9s", ("xeon x" + std::to_string(t)).c_str());
+  }
+  std::printf(" %12s\n", "V100 (GPUv2)");
+  for (const Row& r : rows) {
+    std::printf("%8.0f %8.1f |", r.density_target, r.density_measured);
+    for (double ms : r.mt_ms) {
+      std::printf(" %9.1f", ms);
+    }
+    std::printf(" %12.2f\n", r.gpu_ms);
+  }
+
+  // --- Fig. 11: speedups ---------------------------------------------------
+  std::printf("\nFig. 11 -- GPU speedup vs the multithreaded baseline\n");
+  std::printf("%8s |", "n(tgt)");
+  for (int t : thread_counts) {
+    std::printf(" %9s", ("vs x" + std::to_string(t)).c_str());
+  }
+  std::printf("\n");
+  for (const Row& r : rows) {
+    std::printf("%8.0f |", r.density_target);
+    for (double ms : r.mt_ms) {
+      std::printf(" %8.0fx", ms / r.gpu_ms);
+    }
+    std::printf("\n");
+  }
+
+  if (std::FILE* f = bench::OpenCsv(opts, "fig10_fig11")) {
+    std::fprintf(f, "density_target,density_measured");
+    for (int t : thread_counts) {
+      std::fprintf(f, ",cpu_x%d_ms", t);
+    }
+    std::fprintf(f, ",gpu_ms");
+    for (int t : thread_counts) {
+      std::fprintf(f, ",speedup_vs_x%d", t);
+    }
+    std::fprintf(f, "\n");
+    for (const Row& r : rows) {
+      std::fprintf(f, "%.1f,%.2f", r.density_target, r.density_measured);
+      for (double ms : r.mt_ms) {
+        std::fprintf(f, ",%.3f", ms);
+      }
+      std::fprintf(f, ",%.4f", r.gpu_ms);
+      for (double ms : r.mt_ms) {
+        std::fprintf(f, ",%.2f", ms / r.gpu_ms);
+      }
+      std::fprintf(f, "\n");
+    }
+    std::fclose(f);
+  }
+
+  std::printf(
+      "\npaper reference bands: 160x-232x vs 4 threads, 71x-113x vs 64\n"
+      "threads, with the GPU gain stagnating toward high density (the\n"
+      "per-thread neighbor loop is serial). At reduced scale the simulated\n"
+      "GPU run is PCIe-transfer dominated, which mutes that stagnation; the\n"
+      "kernel-level density scaling behind it is swept explicitly in\n"
+      "bench_ablation_gpu (ablation 5).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 12: roofline analysis of the best GPU kernel on system B.
+//
+// Two ingredients, exactly like the paper:
+//   1. ERT-style empirical ceilings of the (simulated) Tesla V100.
+//   2. The mech_interaction kernel (GPU version II) run at neighborhood
+//      densities n = 6, 27, 47; its arithmetic intensity, achieved GFLOP/s
+//      and L2-read share come from the nvprof-equivalent counters.
+//
+// Expected shape: all kernel points sit close to the HBM bandwidth roof and
+// about an order of magnitude below the FP32 compute peak, with the L2 read
+// fraction increasing with density (paper: 39.4% / 40.6% / 41.3%).
+#include "common.h"
+#include "gpusim/profiler.h"
+#include "roofline/ert.h"
+
+int main(int argc, char** argv) {
+  using namespace biosim;
+  auto opts = bench::Options::Parse(argc, argv);
+  size_t agents = opts.full ? 2'000'000 : 200'000;
+  if (opts.num_agents > 0) {
+    agents = opts.num_agents;
+  }
+
+  bench::PrintHeader("Fig. 12 -- roofline analysis on system B (V100)");
+
+  // --- empirical ceilings -------------------------------------------------
+  roofline::EmpiricalRoofline ert(gpusim::DeviceSpec::TeslaV100(),
+                                  /*working_set=*/64ull << 20);
+  roofline::RooflineCeilings ceilings = ert.Measure();
+
+  // --- kernel points at the paper's densities ------------------------------
+  std::vector<roofline::RooflinePoint> kernels;
+  std::vector<double> l2_fracs;
+  for (double n : {6.0, 27.0, 47.0}) {
+    Param param;
+    Simulation sim(param);
+    sim.SetEnvironment(std::make_unique<NullEnvironment>());
+    gpu::GpuMechanicsOptions gopts =
+        gpu::GpuMechanicsOptions::Version(2, gpusim::DeviceSpec::TeslaV100());
+    gopts.meter_stride = opts.meter_stride;
+    gopts.fixed_box_length = 10.0;
+    auto op = std::make_unique<gpu::GpuMechanicalOp>(gopts);
+    gpu::GpuMechanicalOp* op_ptr = op.get();
+    sim.SetMechanicsBackend(std::move(op));
+    bench::SetUpBenchmarkB(&sim, agents, n);
+    sim.Simulate(static_cast<uint64_t>(opts.iterations));
+
+    gpusim::ProfileReport report(op_ptr->device());
+    const auto* mech = report.Find("mech_interaction");
+    roofline::RooflinePoint pt;
+    pt.label = "mech n=" + std::to_string(static_cast<int>(n));
+    pt.arithmetic_intensity = mech->ArithmeticIntensity();
+    pt.gflops = mech->AchievedGflops();
+    kernels.push_back(pt);
+    l2_fracs.push_back(mech->L2ReadHitFraction());
+  }
+
+  std::printf("%s\n", roofline::EmpiricalRoofline::Table(ceilings, kernels)
+                          .c_str());
+
+  std::printf("roofline sweep points (for plotting the ceilings):\n");
+  std::printf("%-18s %12s %10s\n", "ert point", "AI(flop/B)", "GFLOP/s");
+  for (const auto& p : ert.sweep_points()) {
+    std::printf("%-18s %12.3f %10.1f\n", p.label.c_str(),
+                p.arithmetic_intensity, p.gflops);
+  }
+
+  if (std::FILE* f = bench::OpenCsv(opts, "fig12")) {
+    std::fprintf(f, "series,label,ai_flop_per_byte,gflops\n");
+    for (const auto& p : ert.sweep_points()) {
+      std::fprintf(f, "ert,%s,%.4f,%.2f\n", p.label.c_str(),
+                   p.arithmetic_intensity, p.gflops);
+    }
+    for (const auto& k : kernels) {
+      std::fprintf(f, "kernel,\"%s\",%.4f,%.2f\n", k.label.c_str(),
+                   k.arithmetic_intensity, k.gflops);
+    }
+    std::fclose(f);
+  }
+
+  std::printf("\nL2 read share of total (L2+HBM) reads, by density:\n");
+  const double paper_l2[] = {39.4, 40.6, 41.3};
+  const int ns[] = {6, 27, 47};
+  for (size_t i = 0; i < l2_fracs.size(); ++i) {
+    std::printf("  n=%-3d paper %.1f%%   measured %5.1f%%\n", ns[i],
+                paper_l2[i], 100.0 * l2_fracs[i]);
+  }
+  std::printf(
+      "\nexpected shape: kernel points near the HBM roof, ~10x below the\n"
+      "FP32 peak; L2 share increases with density.\n");
+  return 0;
+}

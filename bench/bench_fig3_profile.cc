@@ -1,0 +1,41 @@
+// Fig. 3: runtime profile of the cell-division benchmark (benchmark A) on
+// the baseline (kd-tree, CPU) implementation.
+//
+// The paper's finding: the mechanical force computation takes ~51% of the
+// runtime and the neighborhood update ~36% — together they dominate, which
+// motivates offloading exactly this operation. This bench runs the same
+// model and prints the measured breakdown next to the paper's.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace biosim;
+  auto opts = bench::Options::Parse(argc, argv);
+
+  bench::PrintHeader(
+      "Fig. 3 -- runtime profile of the cell division benchmark (baseline)");
+
+  Param param;
+  Simulation sim(param);
+  sim.SetEnvironment(std::make_unique<KdTreeEnvironment>());
+  sim.SetExecMode(ExecMode::kSerial);
+  bench::SetUpBenchmarkA(&sim, opts.BenchmarkACells());
+  std::printf("initial cells: %zu, iterations: %d%s\n\n", sim.rm().size(),
+              opts.iterations, opts.full ? " (paper scale)" : "");
+
+  sim.Simulate(static_cast<uint64_t>(opts.iterations));
+  std::printf("final cells: %zu\n\n%s\n", sim.rm().size(),
+              sim.profile().ToString().c_str());
+
+  const OpProfile& p = sim.profile();
+  double total = p.GrandTotalMs();
+  double mech = p.TotalMs("mechanical forces");
+  double neigh = p.TotalMs("neighborhood update");
+  std::printf("paper-vs-measured shares of total runtime:\n");
+  std::printf("  mechanical forces    paper ~51%%   measured %5.1f%%\n",
+              100.0 * mech / total);
+  std::printf("  neighborhood update  paper ~36%%   measured %5.1f%%\n",
+              100.0 * neigh / total);
+  std::printf("  together             paper ~87%%   measured %5.1f%%\n",
+              100.0 * (mech + neigh) / total);
+  return 0;
+}

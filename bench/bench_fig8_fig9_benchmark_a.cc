@@ -1,0 +1,138 @@
+// Fig. 8 + Fig. 9: benchmark A (cell division) across every implementation
+// of the mechanical-interaction operation, on system A.
+//
+//   serial kd-tree   measured on this machine (the baseline)
+//   serial UG        measured on this machine
+//   mt kd-tree x20   projected from the measured serial run (system A CPUs)
+//   mt UG x20        projected likewise
+//   GPU v0..v3       simulated on the GTX 1080 Ti model (+ projected
+//                    multithreaded host time for the v2/v3 Z-order sort)
+//
+// Fig. 8 is the runtime table; Fig. 9 the speedups vs the serial baseline.
+// The paper's headline ratios are printed next to the measured ones.
+#include <vector>
+
+#include "common.h"
+#include "gpusim/profiler.h"
+
+namespace {
+
+using namespace biosim;
+
+struct Row {
+  std::string name;
+  double ms = 0.0;
+  size_t agents = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::Options::Parse(argc, argv);
+  size_t cells = opts.BenchmarkACells();
+
+  bench::PrintHeader("Fig. 8 / Fig. 9 -- benchmark A on system A");
+  std::printf("initial cells: %zu^3 = %zu, iterations: %d%s\n\n", cells,
+              cells * cells * cells, opts.iterations,
+              opts.full ? " (paper scale)" : "");
+
+  perfmodel::CpuSpec cpu_a = perfmodel::CpuSpec::XeonE5_2640v4_x2();
+  perfmodel::CpuScalingModel kd_model(
+      cpu_a, perfmodel::WorkloadCharacter::KdTreeMechanics());
+  perfmodel::CpuScalingModel ug_model(
+      cpu_a, perfmodel::WorkloadCharacter::UniformGridMechanics());
+  std::vector<Row> rows;
+
+  // --- measured CPU runs -------------------------------------------------
+  auto run_cpu = [&](const char* name, bool kdtree) {
+    Param param;
+    Simulation sim(param);
+    if (kdtree) {
+      sim.SetEnvironment(std::make_unique<KdTreeEnvironment>());
+    }  // default environment is the uniform grid
+    sim.SetExecMode(ExecMode::kSerial);
+    bench::SetUpBenchmarkA(&sim, cells);
+    bench::CpuRun r = bench::RunCpuMechanics(&sim, opts.iterations);
+    rows.push_back({name, r.total_ms, r.final_agents});
+    return r.total_ms;
+  };
+  double serial_kd = run_cpu("serial kd-tree (baseline)", true);
+  double serial_ug = run_cpu("serial uniform grid", false);
+
+  // --- projected multithreaded runs (20 threads, the paper's "all 20
+  // cores" configuration) ----------------------------------------------
+  double mt_kd = kd_model.ProjectMs(serial_kd, 20);
+  double mt_ug = ug_model.ProjectMs(serial_ug, 20);
+  rows.push_back({"20 threads kd-tree (projected)", mt_kd, rows[0].agents});
+  rows.push_back({"20 threads uniform grid (projected)", mt_ug,
+                  rows[1].agents});
+
+  // --- simulated GPU runs -----------------------------------------------
+  for (int v = 0; v <= 3; ++v) {
+    Param param;
+    Simulation sim(param);
+    sim.SetEnvironment(std::make_unique<NullEnvironment>());
+    gpu::GpuMechanicsOptions gopts =
+        gpu::GpuMechanicsOptions::Version(v, gpusim::DeviceSpec::GTX1080Ti());
+    gopts.meter_stride = opts.meter_stride;
+    auto op = std::make_unique<gpu::GpuMechanicalOp>(gopts);
+    gpu::GpuMechanicalOp* op_ptr = op.get();
+    sim.SetMechanicsBackend(std::move(op));
+    bench::SetUpBenchmarkA(&sim, cells);
+    bench::GpuRun r = bench::RunGpuMechanics(&sim, op_ptr, opts.iterations);
+    if (opts.profile) {
+      std::printf("--- GPU v%d per-kernel profile (device %.3f ms, h2d %.3f "
+                  "ms, d2h %.3f ms)\n%s\n",
+                  v, r.device_ms, op_ptr->device().transfers().h2d_ms,
+                  op_ptr->device().transfers().d2h_ms,
+                  gpusim::ProfileReport(op_ptr->device()).ToString().c_str());
+    }
+    char name[64];
+    std::snprintf(name, sizeof(name), "GPU version %d (simulated)%s", v,
+                  v >= 2 ? "" : "");
+    rows.push_back({name, r.TotalMs(), r.final_agents});
+  }
+
+  // --- Fig. 8: runtimes ----------------------------------------------------
+  std::printf("Fig. 8 -- runtime of the mechanical interaction operation\n");
+  std::printf("%-38s %12s %12s\n", "implementation", "time_ms",
+              "final_cells");
+  for (const Row& r : rows) {
+    std::printf("%-38s %12.2f %12zu\n", r.name.c_str(), r.ms, r.agents);
+  }
+
+  if (std::FILE* f = bench::OpenCsv(opts, "fig8")) {
+    std::fprintf(f, "implementation,time_ms,speedup_vs_serial\n");
+    for (const Row& r : rows) {
+      std::fprintf(f, "\"%s\",%.4f,%.4f\n", r.name.c_str(), r.ms,
+                   serial_kd / r.ms);
+    }
+    std::fclose(f);
+  }
+
+  // --- Fig. 9: speedups vs serial baseline ---------------------------------
+  std::printf("\nFig. 9 -- speedup vs the serial baseline (kd-tree)\n");
+  std::printf("%-38s %12s\n", "implementation", "speedup");
+  for (const Row& r : rows) {
+    std::printf("%-38s %11.1fx\n", r.name.c_str(), serial_kd / r.ms);
+  }
+
+  // --- headline ratios vs the paper ----------------------------------------
+  double v0 = rows[4].ms, v1 = rows[5].ms, v2 = rows[6].ms, v3 = rows[7].ms;
+  std::printf("\npaper-vs-measured headline ratios (Section VI):\n");
+  std::printf("  serial UG / serial kd           paper 2.0x    measured %4.1fx\n",
+              serial_kd / serial_ug);
+  std::printf("  mt UG / mt kd                   paper 4.3x    measured %4.1fx\n",
+              mt_kd / mt_ug);
+  std::printf("  GPU v0 vs mt kd baseline        paper 7.9x    measured %4.1fx\n",
+              mt_kd / v0);
+  std::printf("  GPU v0 vs mt UG                 paper 1.8x    measured %4.1fx\n",
+              mt_ug / v0);
+  std::printf("  v1 vs v0 (FP32)                 paper 2.0x    measured %4.1fx\n",
+              v0 / v1);
+  std::printf("  v2 vs v1 (Z-order)              paper 2.6x    measured %4.1fx\n",
+              v1 / v2);
+  std::printf("  v3 vs v2 (shared memory)        paper 0.78x   measured %4.2fx\n",
+              v2 / v3);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table I: specifications of the benchmark systems.
+//
+// Regenerates the paper's hardware table from the machine models used by
+// every other bench: the GPU DeviceSpecs (gpusim) and CPU CpuSpecs
+// (perfmodel). Printing them from the models — rather than hardcoding the
+// table — proves the experiments run against the paper's systems.
+#include <cstdio>
+
+#include "gpusim/device_spec.h"
+#include "perfmodel/cpu_spec.h"
+
+int main() {
+  using biosim::gpusim::DeviceSpec;
+  using biosim::perfmodel::CpuSpec;
+
+  struct System {
+    const char* name;
+    DeviceSpec gpu;
+    CpuSpec cpu;
+    size_t host_dram_gb;
+  };
+  System systems[] = {
+      {"System A", DeviceSpec::GTX1080Ti(), CpuSpec::XeonE5_2640v4_x2(), 256},
+      {"System B", DeviceSpec::TeslaV100(), CpuSpec::XeonGold6130_x2(), 187},
+  };
+
+  std::printf(
+      "TABLE I: Specifications of the systems used for benchmarking\n\n");
+  std::printf(
+      "%-9s | %-19s | %-7s | %-9s | %-10s | %-10s | %-25s | %-22s | %s\n",
+      "", "GPU chip", "GPU RAM", "Mem BW", "FP32 perf", "FP64 perf",
+      "CPU chip", "CPU cores", "CPU DRAM");
+  std::printf(
+      "----------+---------------------+---------+-----------+------------+-"
+      "-----------+---------------------------+------------------------+-----"
+      "----\n");
+  for (const System& s : systems) {
+    char cores[64];
+    std::snprintf(cores, sizeof(cores), "%d (%d sockets, %d thr)",
+                  s.cpu.total_cores(), s.cpu.sockets, s.cpu.total_threads());
+    std::printf(
+        "%-9s | %-19s | %4zu GB | %5.0f GB/s | %5.2f TFLOPS | %5.3f TFLOPS | "
+        "%-25s | %-22s | %zu GB\n",
+        s.name, s.gpu.name.c_str(), s.gpu.dram_bytes >> 30,
+        s.gpu.dram_bandwidth_gbps, s.gpu.fp32_gflops / 1000.0,
+        s.gpu.fp64_gflops / 1000.0, s.cpu.name.c_str(), cores,
+        s.host_dram_gb);
+  }
+
+  std::printf(
+      "\npaper Table I reference: 1080Ti 11GB 484GB/s 11.34/0.354 TFLOPS;\n"
+      "V100 32GB 900GB/s 15.7/7.8 TFLOPS; E5-2640v4 20c/40t 256GB;\n"
+      "Gold 6130 32c/64t 187GB\n");
+  return 0;
+}

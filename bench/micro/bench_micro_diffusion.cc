@@ -1,0 +1,50 @@
+// Micro-benchmarks: extracellular diffusion solver (the CPU-side substrate
+// the paper keeps off the GPU).
+#include <benchmark/benchmark.h>
+
+#include "diffusion/diffusion_grid.h"
+
+namespace {
+
+using namespace biosim;
+
+void BM_DiffusionStep(benchmark::State& state) {
+  size_t res = static_cast<size_t>(state.range(0));
+  DiffusionGrid g("s", 0.0, 1000.0, res, 50.0, 0.1);
+  g.IncreaseConcentrationBy({500, 500, 500}, 1000.0);
+  double dt = 0.9 * g.MaxStableTimestep();
+  for (auto _ : state) {
+    g.Step(dt, ExecMode::kParallel);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_voxels()));
+}
+BENCHMARK(BM_DiffusionStep)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_DiffusionGradient(benchmark::State& state) {
+  DiffusionGrid g("s", 0.0, 1000.0, 32, 50.0, 0.0);
+  g.Initialize([](const Double3& p) { return p.x * 0.01 + p.y * 0.02; });
+  Double3 acc{};
+  for (auto _ : state) {
+    for (double x = 5.0; x < 1000.0; x += 37.0) {
+      acc += g.GetGradient({x, 500.0, 500.0});
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DiffusionGradient);
+
+void BM_DiffusionSecretion(benchmark::State& state) {
+  DiffusionGrid g("s", 0.0, 1000.0, 32, 50.0, 0.0);
+  for (auto _ : state) {
+    for (double x = 5.0; x < 1000.0; x += 13.0) {
+      g.IncreaseConcentrationBy({x, x, x}, 0.1);
+    }
+  }
+  benchmark::DoNotOptimize(g.TotalAmount());
+}
+BENCHMARK(BM_DiffusionSecretion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Micro-benchmarks: Eq. (1) force evaluation throughput in both precisions
+// (host side). The FP32/FP64 gap here is the *compute* side of Improvement
+// I; the device-side gap also includes halved memory traffic.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/random.h"
+#include "physics/displacement.h"
+#include "physics/interaction_force.h"
+
+namespace {
+
+using namespace biosim;
+
+template <typename T>
+void ForceThroughput(benchmark::State& state) {
+  Random rng(7);
+  const size_t kPairs = 4096;
+  std::vector<Real3<T>> p1(kPairs), p2(kPairs);
+  std::vector<T> r1(kPairs), r2(kPairs);
+  for (size_t i = 0; i < kPairs; ++i) {
+    Double3 a = rng.UniformInCube(0, 100);
+    Double3 b = a + rng.UnitVector() * rng.Uniform(1.0, 12.0);
+    p1[i] = a.As<T>();
+    p2[i] = b.As<T>();
+    r1[i] = static_cast<T>(rng.Uniform(3.0, 8.0));
+    r2[i] = static_cast<T>(rng.Uniform(3.0, 8.0));
+  }
+  ForceParams<T> fp{T{2}, T{1}};
+  Real3<T> acc{};
+  for (auto _ : state) {
+    for (size_t i = 0; i < kPairs; ++i) {
+      acc += SphereSphereForce(p1[i], r1[i], p2[i], r2[i], fp);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPairs));
+}
+
+void BM_ForceFp64(benchmark::State& state) { ForceThroughput<double>(state); }
+BENCHMARK(BM_ForceFp64);
+
+void BM_ForceFp32(benchmark::State& state) { ForceThroughput<float>(state); }
+BENCHMARK(BM_ForceFp32);
+
+void BM_Displacement(benchmark::State& state) {
+  Random rng(9);
+  const size_t kN = 4096;
+  std::vector<Double3> forces(kN);
+  for (auto& f : forces) {
+    f = rng.UnitVector() * rng.Uniform(0.0, 100.0);
+  }
+  Double3 acc{};
+  for (auto _ : state) {
+    for (const auto& f : forces) {
+      acc += ComputeDisplacement(f, 0.4, 0.01, 3.0);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN));
+}
+BENCHMARK(BM_Displacement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

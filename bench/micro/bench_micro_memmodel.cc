@@ -1,0 +1,101 @@
+// Micro-benchmarks: throughput of the GPU simulator itself (the coalescer,
+// the L2 simulation, and functional SIMT execution). These bound how large
+// a device workload the simulator can meter per wall-second, which is what
+// the figure benches' --meter-stride flag trades against.
+#include <benchmark/benchmark.h>
+
+#include "core/random.h"
+#include "gpusim/device.h"
+#include "gpusim/memory_model.h"
+
+namespace {
+
+using namespace biosim;
+using namespace biosim::gpusim;
+
+void BM_L2CacheAccess(benchmark::State& state) {
+  L2Cache l2(4ull << 20, 128, 16);
+  Random rng(11);
+  const size_t kN = 4096;
+  std::vector<uint64_t> addrs(kN);
+  for (auto& a : addrs) {
+    a = rng.UniformInt(64ull << 20);
+  }
+  bool acc = false;
+  for (auto _ : state) {
+    for (uint64_t a : addrs) {
+      acc ^= l2.Access(a);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN));
+}
+BENCHMARK(BM_L2CacheAccess);
+
+void BM_CoalescerWarpAccess(benchmark::State& state) {
+  MemoryModel mm(DeviceSpec::GTX1080Ti());
+  KernelStats stats;
+  Random rng(12);
+  std::vector<LaneAccess> warp(32);
+  const bool scattered = state.range(0) == 1;
+  for (size_t l = 0; l < 32; ++l) {
+    warp[l] = {scattered ? rng.UniformInt(64ull << 20) : (1ull << 20) + l * 4,
+               4};
+  }
+  for (auto _ : state) {
+    mm.AccessWarp(warp, false, &stats);
+  }
+  benchmark::DoNotOptimize(stats.dram_read_bytes);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 32);
+  state.SetLabel(scattered ? "scattered" : "coalesced");
+}
+BENCHMARK(BM_CoalescerWarpAccess)->Arg(0)->Arg(1);
+
+void BM_SimtFunctionalExecution(benchmark::State& state) {
+  // Unmetered functional throughput: how fast the engine can run lanes when
+  // the warp is not sampled (the common case under --meter-stride).
+  const size_t n = 1u << 16;
+  Device dev(DeviceSpec::GTX1080Ti());
+  dev.SetMeterStride(1 << 30);  // effectively meter nothing after warp 0
+  auto in = dev.Alloc<float>(n);
+  auto out = dev.Alloc<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<float>(i % 17);
+  }
+  for (auto _ : state) {
+    dev.Launch({"saxpy", n / 256, 256}, [&](BlockCtx& blk) {
+      blk.for_each_lane([&](Lane& t) {
+        size_t i = t.gtid();
+        t.st(out, i, t.ld(in, i) * 2.0f + 1.0f);
+      });
+    });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimtFunctionalExecution);
+
+void BM_SimtMeteredExecution(benchmark::State& state) {
+  const size_t n = 1u << 16;
+  Device dev(DeviceSpec::GTX1080Ti());
+  auto in = dev.Alloc<float>(n);
+  auto out = dev.Alloc<float>(n);
+  for (auto _ : state) {
+    dev.Launch({"saxpy", n / 256, 256}, [&](BlockCtx& blk) {
+      blk.for_each_lane([&](Lane& t) {
+        size_t i = t.gtid();
+        float v = t.ld(in, i);
+        t.flops32(2);
+        t.st(out, i, v * 2.0f + 1.0f);
+      });
+    });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SimtMeteredExecution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

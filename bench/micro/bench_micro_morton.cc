@@ -1,0 +1,76 @@
+// Micro-benchmarks: Z-order machinery (Improvement II host-side cost).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/random.h"
+#include "spatial/morton.h"
+
+namespace {
+
+using namespace biosim;
+
+void BM_MortonEncode(benchmark::State& state) {
+  Random rng(3);
+  const size_t kN = 4096;
+  std::vector<uint32_t> xs(kN), ys(kN), zs(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    xs[i] = static_cast<uint32_t>(rng.UniformInt(1 << 21));
+    ys[i] = static_cast<uint32_t>(rng.UniformInt(1 << 21));
+    zs[i] = static_cast<uint32_t>(rng.UniformInt(1 << 21));
+  }
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kN; ++i) {
+      acc ^= MortonEncode(xs[i], ys[i], zs[i]);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN));
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_MortonDecode(benchmark::State& state) {
+  Random rng(4);
+  const size_t kN = 4096;
+  std::vector<uint64_t> codes(kN);
+  for (auto& c : codes) {
+    c = rng.NextU64() & ((uint64_t{1} << 63) - 1);
+  }
+  uint32_t acc = 0;
+  for (auto _ : state) {
+    for (uint64_t c : codes) {
+      uint32_t x, y, z;
+      MortonDecode(c, &x, &y, &z);
+      acc ^= x ^ y ^ z;
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN));
+}
+BENCHMARK(BM_MortonDecode);
+
+void BM_MortonEncodePosition(benchmark::State& state) {
+  Random rng(5);
+  const size_t kN = 4096;
+  std::vector<Double3> ps(kN);
+  for (auto& p : ps) {
+    p = rng.UniformInCube(0.0, 1000.0);
+  }
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    for (const auto& p : ps) {
+      acc ^= MortonEncodePosition(p, {0, 0, 0}, 10.0);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kN));
+}
+BENCHMARK(BM_MortonEncodePosition);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,14 @@
+# gnuplot script for the Fig. 11 speedup curves.
+#   ./build/bench/bench_fig10_fig11_benchmark_b --csv plots/data
+#   gnuplot -c plots/fig11.gnuplot
+set terminal pngcairo size 900,500
+set output "plots/fig11.png"
+set datafile separator ","
+set xlabel "mean neighborhood density n"
+set ylabel "GPU speedup vs multithreaded baseline"
+set key top left
+plot "plots/data_fig10_fig11.csv" using 2:9  skip 1 with linespoints title "vs 4 threads", \
+     ""                            using 2:10 skip 1 with linespoints title "vs 8 threads", \
+     ""                            using 2:11 skip 1 with linespoints title "vs 16 threads", \
+     ""                            using 2:12 skip 1 with linespoints title "vs 32 threads", \
+     ""                            using 2:13 skip 1 with linespoints title "vs 64 threads"

@@ -1,0 +1,12 @@
+# gnuplot script for the Fig. 12 roofline.
+#   ./build/bench/bench_fig12_roofline --csv plots/data
+#   gnuplot -c plots/fig12.gnuplot
+set terminal pngcairo size 900,500
+set output "plots/fig12.png"
+set datafile separator ","
+set logscale xy
+set xlabel "arithmetic intensity [FLOP/byte]"
+set ylabel "performance [GFLOP/s]"
+set key bottom right
+plot "< grep '^ert,' plots/data_fig12.csv"    using 3:4 with linespoints title "ERT ceilings (simulated V100)", \
+     "< grep '^kernel,' plots/data_fig12.csv" using 3:4 with points pt 7 ps 2 title "mech kernel (n = 6/27/47)"

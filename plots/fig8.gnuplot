@@ -1,0 +1,14 @@
+# gnuplot script for the Fig. 8 runtime bars.
+# Generate data first:
+#   ./build/bench/bench_fig8_fig9_benchmark_a --csv plots/data
+#   gnuplot -c plots/fig8.gnuplot
+set terminal pngcairo size 900,500
+set output "plots/fig8.png"
+set datafile separator ","
+set style data histogram
+set style fill solid 0.8
+set logscale y
+set ylabel "runtime of the mechanical interaction operation [ms]"
+set xtics rotate by -30
+set key off
+plot "plots/data_fig8.csv" using 2:xtic(1) skip 1 lc rgb "#4477AA"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate every
+# table/figure of the paper plus the ablations, and leave the transcripts in
+# test_output.txt / bench_output.txt.
+#
+#   scripts/reproduce_all.sh [--full]
+#
+# --full uses the paper-scale problem sizes (much slower).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL_FLAG=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL_FLAG="--full"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_table1_systems \
+           build/bench/bench_fig3_profile \
+           build/bench/bench_fig8_fig9_benchmark_a \
+           build/bench/bench_fig10_fig11_benchmark_b \
+           build/bench/bench_fig12_roofline \
+           build/bench/bench_ablation_gpu \
+           build/bench/bench_ablation_spatial; do
+    echo "########## $b $FULL_FLAG"
+    "$b" $FULL_FLAG
+    echo
+  done
+  for b in build/bench/bench_micro_spatial \
+           build/bench/bench_micro_force \
+           build/bench/bench_micro_morton \
+           build/bench/bench_micro_memmodel \
+           build/bench/bench_micro_diffusion; do
+    echo "########## $b"
+    "$b" --benchmark_min_time=0.1s
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,211 @@
+#include "app/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace biosim::app {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void Fail(size_t line, const std::string& what) {
+  throw std::runtime_error("config line " + std::to_string(line) + ": " +
+                           what);
+}
+
+double ToDouble(const std::string& v, size_t line) {
+  char* end = nullptr;
+  double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    Fail(line, "expected a number, got '" + v + "'");
+  }
+  return d;
+}
+
+uint64_t ToU64(const std::string& v, size_t line) {
+  double d = ToDouble(v, line);
+  if (d < 0 || d != static_cast<double>(static_cast<uint64_t>(d))) {
+    Fail(line, "expected a non-negative integer, got '" + v + "'");
+  }
+  return static_cast<uint64_t>(d);
+}
+
+}  // namespace
+
+void RunConfig::Validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("config: " + what);
+  };
+  if (model_type != "cell_division" && model_type != "random_cloud") {
+    fail("model type must be cell_division or random_cloud, got '" +
+         model_type + "'");
+  }
+  if (boundary != "clamp" && boundary != "torus" && boundary != "open") {
+    fail("boundary must be clamp, torus or open, got '" + boundary + "'");
+  }
+  if (boundary == "torus" && backend_type == "gpu") {
+    fail("torus boundaries are CPU-only (the GPU kernels implement the "
+         "paper's clamped space)");
+  }
+  if (backend_type != "cpu" && backend_type != "gpu") {
+    fail("backend type must be cpu or gpu, got '" + backend_type + "'");
+  }
+  if (gpu_device != "1080ti" && gpu_device != "v100") {
+    fail("gpu device must be 1080ti or v100, got '" + gpu_device + "'");
+  }
+  if (gpu_version < 0 || gpu_version > 4) {
+    fail("gpu version must be in 0..4");
+  }
+  if (meter_stride < 1) {
+    fail("meter_stride must be >= 1");
+  }
+  if (!(timestep > 0.0)) {
+    fail("timestep must be positive");
+  }
+  if (!(max_bound > 0.0)) {
+    fail("max_bound must be positive");
+  }
+  if (!(diameter > 0.0) || !(divide_threshold > 0.0)) {
+    fail("diameters must be positive");
+  }
+  if (!(density > 0.0)) {
+    fail("density must be positive");
+  }
+  if (cells_per_dim == 0 && model_type == "cell_division") {
+    fail("cells_per_dim must be >= 1");
+  }
+}
+
+RunConfig ParseConfigString(const std::string& text) {
+  RunConfig cfg;
+
+  // section -> key -> setter
+  using Setter = std::function<void(const std::string&, size_t)>;
+  std::map<std::string, std::map<std::string, Setter>> schema;
+  schema["simulation"] = {
+      {"steps", [&](const std::string& v, size_t l) { cfg.steps = ToU64(v, l); }},
+      {"seed", [&](const std::string& v, size_t l) { cfg.seed = ToU64(v, l); }},
+      {"max_bound",
+       [&](const std::string& v, size_t l) { cfg.max_bound = ToDouble(v, l); }},
+      {"timestep",
+       [&](const std::string& v, size_t l) { cfg.timestep = ToDouble(v, l); }},
+      {"max_displacement",
+       [&](const std::string& v, size_t l) {
+         cfg.max_displacement = ToDouble(v, l);
+       }},
+      {"boundary",
+       [&](const std::string& v, size_t) { cfg.boundary = v; }},
+  };
+  schema["model"] = {
+      {"type", [&](const std::string& v, size_t) { cfg.model_type = v; }},
+      {"cells_per_dim",
+       [&](const std::string& v, size_t l) {
+         cfg.cells_per_dim = static_cast<size_t>(ToU64(v, l));
+       }},
+      {"agents",
+       [&](const std::string& v, size_t l) {
+         cfg.agents = static_cast<size_t>(ToU64(v, l));
+       }},
+      {"density",
+       [&](const std::string& v, size_t l) { cfg.density = ToDouble(v, l); }},
+      {"diameter",
+       [&](const std::string& v, size_t l) { cfg.diameter = ToDouble(v, l); }},
+      {"divide_threshold",
+       [&](const std::string& v, size_t l) {
+         cfg.divide_threshold = ToDouble(v, l);
+       }},
+      {"growth_rate",
+       [&](const std::string& v, size_t l) {
+         cfg.growth_rate = ToDouble(v, l);
+       }},
+  };
+  schema["backend"] = {
+      {"type", [&](const std::string& v, size_t) { cfg.backend_type = v; }},
+      {"gpu_version",
+       [&](const std::string& v, size_t l) {
+         cfg.gpu_version = static_cast<int>(ToU64(v, l));
+       }},
+      {"gpu_device", [&](const std::string& v, size_t) { cfg.gpu_device = v; }},
+      {"meter_stride",
+       [&](const std::string& v, size_t l) {
+         cfg.meter_stride = static_cast<int>(ToU64(v, l));
+       }},
+  };
+  schema["output"] = {
+      {"timeseries",
+       [&](const std::string& v, size_t) { cfg.timeseries_path = v; }},
+      {"vtk", [&](const std::string& v, size_t) { cfg.vtk_path = v; }},
+      {"csv", [&](const std::string& v, size_t) { cfg.csv_path = v; }},
+      {"checkpoint",
+       [&](const std::string& v, size_t) { cfg.checkpoint_path = v; }},
+  };
+
+  std::istringstream in(text);
+  std::string raw;
+  std::string section;
+  size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = Trim(raw);
+    // Strip trailing comments.
+    size_t comment = line.find_first_of(";#");
+    if (comment != std::string::npos) {
+      line = Trim(line.substr(0, comment));
+    }
+    if (line.empty()) {
+      continue;
+    }
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        Fail(line_no, "unterminated section header");
+      }
+      section = Trim(line.substr(1, line.size() - 2));
+      if (schema.find(section) == schema.end()) {
+        Fail(line_no, "unknown section [" + section + "]");
+      }
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      Fail(line_no, "expected key = value");
+    }
+    if (section.empty()) {
+      Fail(line_no, "key outside any section");
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    auto& keys = schema[section];
+    auto it = keys.find(key);
+    if (it == keys.end()) {
+      Fail(line_no, "unknown key '" + key + "' in [" + section + "]");
+    }
+    it->second(value, line_no);
+  }
+
+  cfg.Validate();
+  return cfg;
+}
+
+RunConfig ParseConfigFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open config file: " + path);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ParseConfigString(ss.str());
+}
+
+}  // namespace biosim::app

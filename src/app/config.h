@@ -1,0 +1,82 @@
+// Run configuration: a small INI-style format driving the biosim_run tool.
+//
+//   [simulation]
+//   steps = 100
+//   seed = 42
+//   max_bound = 1000
+//   timestep = 0.01
+//   boundary = clamp              ; clamp | torus | open
+//
+//   [model]
+//   type = cell_division          ; cell_division | random_cloud
+//   cells_per_dim = 16            ; cell_division
+//   agents = 10000                ; random_cloud
+//   density = 27                  ; random_cloud (sizes the space)
+//   diameter = 8
+//   divide_threshold = 16
+//   growth_rate = 40000
+//
+//   [backend]
+//   type = cpu                    ; cpu | gpu
+//   gpu_version = 2               ; 0..4
+//   gpu_device = 1080ti           ; 1080ti | v100
+//   meter_stride = 8
+//
+//   [output]
+//   timeseries = out.csv
+//   vtk = final.vtk
+//   csv = final.csv
+//   checkpoint = final.ckpt
+//
+// Lines starting with '#' or ';' are comments; keys are section-scoped.
+// Unknown sections/keys are errors (typos should not be silent).
+#ifndef BIOSIM_APP_CONFIG_H_
+#define BIOSIM_APP_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace biosim::app {
+
+struct RunConfig {
+  // [simulation]
+  uint64_t steps = 10;
+  uint64_t seed = 42;
+  double max_bound = 1000.0;
+  double timestep = 0.01;
+  double max_displacement = 3.0;
+  std::string boundary = "clamp";  // clamp | torus | open
+
+  // [model]
+  std::string model_type = "cell_division";
+  size_t cells_per_dim = 8;       // cell_division
+  size_t agents = 10000;          // random_cloud
+  double density = 27.0;          // random_cloud
+  double diameter = 8.0;
+  double divide_threshold = 16.0;
+  double growth_rate = 40000.0;
+
+  // [backend]
+  std::string backend_type = "cpu";
+  int gpu_version = 2;
+  std::string gpu_device = "1080ti";
+  int meter_stride = 8;
+
+  // [output]
+  std::string timeseries_path;
+  std::string vtk_path;
+  std::string csv_path;
+  std::string checkpoint_path;
+
+  /// Throw std::invalid_argument on out-of-range values.
+  void Validate() const;
+};
+
+/// Parse from file / from text. Throw std::runtime_error with a line-number
+/// message on syntax errors or unknown keys.
+RunConfig ParseConfigFile(const std::string& path);
+RunConfig ParseConfigString(const std::string& text);
+
+}  // namespace biosim::app
+
+#endif  // BIOSIM_APP_CONFIG_H_

@@ -1,0 +1,113 @@
+#include "app/runner.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "core/export.h"
+#include "core/timer.h"
+#include "core/timeseries.h"
+#include "gpu/gpu_mechanical_op.h"
+#include "spatial/null_environment.h"
+
+namespace biosim::app {
+
+namespace {
+
+double SpaceForDensity(size_t agents, double radius, double n) {
+  double sphere = 4.0 / 3.0 * math::kPi * radius * radius * radius;
+  return std::cbrt(static_cast<double>(agents) * sphere / n);
+}
+
+}  // namespace
+
+std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
+  cfg.Validate();
+
+  Param param;
+  param.random_seed = cfg.seed;
+  param.simulation_time_step = cfg.timestep;
+  param.simulation_max_displacement = cfg.max_displacement;
+  param.min_bound = 0.0;
+  param.max_bound = cfg.max_bound;
+  if (cfg.boundary == "torus") {
+    param.boundary_mode = BoundaryMode::kTorus;
+  } else if (cfg.boundary == "open") {
+    param.bound_space = false;
+  }
+  if (cfg.model_type == "random_cloud") {
+    // Size the cube for the requested density (benchmark-B style).
+    param.max_bound =
+        SpaceForDensity(cfg.agents, cfg.diameter / 2.0 * 2.0, cfg.density);
+  }
+
+  auto sim = std::make_unique<Simulation>(param);
+
+  if (cfg.model_type == "cell_division") {
+    sim->Create3DCellGrid(cfg.cells_per_dim, cfg.divide_threshold,
+                          cfg.diameter, cfg.divide_threshold,
+                          cfg.growth_rate);
+  } else {
+    sim->CreateRandomCells(cfg.agents, cfg.diameter);
+  }
+
+  if (cfg.backend_type == "gpu") {
+    gpusim::DeviceSpec spec = cfg.gpu_device == "v100"
+                                  ? gpusim::DeviceSpec::TeslaV100()
+                                  : gpusim::DeviceSpec::GTX1080Ti();
+    gpu::GpuMechanicsOptions opts =
+        gpu::GpuMechanicsOptions::Version(cfg.gpu_version, std::move(spec));
+    opts.meter_stride = cfg.meter_stride;
+    sim->SetEnvironment(std::make_unique<NullEnvironment>());
+    sim->SetMechanicsBackend(std::make_unique<gpu::GpuMechanicalOp>(opts));
+  }
+  return sim;
+}
+
+RunSummary ExecuteRun(const RunConfig& cfg) {
+  auto sim = BuildSimulation(cfg);
+
+  TimeSeriesRecorder recorder;
+  recorder.AddMetric("population", metrics::PopulationSize);
+  recorder.AddMetric("mean_diameter", metrics::MeanDiameter);
+  recorder.AddMetric("total_volume", metrics::TotalVolume);
+
+  RunSummary summary;
+  summary.initial_agents = sim->rm().size();
+
+  Timer t;
+  for (uint64_t s = 0; s < cfg.steps; ++s) {
+    recorder.Record(*sim);
+    sim->Simulate(1);
+  }
+  recorder.Record(*sim);
+  summary.wall_ms = t.ElapsedMs();
+  summary.final_agents = sim->rm().size();
+  summary.profile = sim->profile().ToString();
+  if (auto* gpu_op =
+          dynamic_cast<gpu::GpuMechanicalOp*>(&sim->mechanics_backend())) {
+    summary.gpu_simulated_ms = gpu_op->SimulatedMs();
+  }
+
+  auto require = [](bool ok, const std::string& what) {
+    if (!ok) {
+      throw std::runtime_error("failed to write " + what);
+    }
+  };
+  if (!cfg.timeseries_path.empty()) {
+    require(recorder.WriteCsv(cfg.timeseries_path), cfg.timeseries_path);
+  }
+  if (!cfg.vtk_path.empty()) {
+    require(ExportCellsVtk(sim->rm(), cfg.vtk_path), cfg.vtk_path);
+  }
+  if (!cfg.csv_path.empty()) {
+    require(ExportCellsCsv(sim->rm(), cfg.csv_path), cfg.csv_path);
+  }
+  if (!cfg.checkpoint_path.empty()) {
+    require(SaveCheckpoint(sim->rm(), cfg.checkpoint_path),
+            cfg.checkpoint_path);
+  }
+  return summary;
+}
+
+}  // namespace biosim::app

@@ -1,0 +1,33 @@
+// Configured-run driver: build a Simulation from a RunConfig, run it,
+// produce the requested outputs. The biosim_run tool is a thin main()
+// around this so the behavior is unit-testable.
+#ifndef BIOSIM_APP_RUNNER_H_
+#define BIOSIM_APP_RUNNER_H_
+
+#include <memory>
+#include <string>
+
+#include "app/config.h"
+#include "core/simulation.h"
+
+namespace biosim::app {
+
+/// Construct the configured simulation (population + backend), not yet run.
+std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg);
+
+struct RunSummary {
+  size_t initial_agents = 0;
+  size_t final_agents = 0;
+  double wall_ms = 0.0;
+  /// Simulated device time if the backend is the GPU offload, else 0.
+  double gpu_simulated_ms = 0.0;
+  std::string profile;  // OpProfile::ToString()
+};
+
+/// Build, simulate cfg.steps, write the configured outputs. Throws on
+/// config errors; returns the summary on success.
+RunSummary ExecuteRun(const RunConfig& cfg);
+
+}  // namespace biosim::app
+
+#endif  // BIOSIM_APP_RUNNER_H_

@@ -1,0 +1,24 @@
+// Stable agent identifiers.
+//
+// Agents live in structs-of-arrays storage whose row indices change on
+// defragmentation and Z-order sorting, so anything that must survive across
+// steps (RNG streams, model bookkeeping) keys off the AgentUid instead.
+#ifndef BIOSIM_CORE_AGENT_UID_H_
+#define BIOSIM_CORE_AGENT_UID_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace biosim {
+
+using AgentUid = uint64_t;
+
+inline constexpr AgentUid kInvalidUid = ~AgentUid{0};
+
+/// Row index into the ResourceManager's SoA arrays; only valid until the next
+/// structural change (commit / sort).
+using AgentIndex = size_t;
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_AGENT_UID_H_

@@ -1,0 +1,39 @@
+// Behavior framework: per-agent programs executed once per timestep.
+//
+// This is the modeler-facing extension point: a model is defined by attaching
+// behaviors (grow-and-divide, secretion, chemotaxis, ...) to agents. Concrete
+// behaviors shipped with the library live in core/behaviors/.
+#ifndef BIOSIM_CORE_BEHAVIOR_H_
+#define BIOSIM_CORE_BEHAVIOR_H_
+
+#include <memory>
+
+namespace biosim {
+
+class Cell;
+class SimContext;
+
+/// Base class for agent behaviors. Run() may mutate the agent it is attached
+/// to and enqueue structural changes (division, death) through the context;
+/// structural changes are applied after all behaviors of the step have run.
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+
+  /// Execute one timestep of this behavior for `cell`.
+  virtual void Run(Cell& cell, SimContext& ctx) = 0;
+
+  /// Deep copy; used when a dividing cell passes its behaviors to the
+  /// daughter.
+  virtual std::unique_ptr<Behavior> Clone() const = 0;
+
+  /// Human-readable name for profiling and diagnostics.
+  virtual const char* name() const = 0;
+
+  /// Whether a daughter cell created by division inherits this behavior.
+  bool copy_to_new = true;
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_BEHAVIOR_H_

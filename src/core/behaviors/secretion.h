@@ -1,0 +1,39 @@
+// Secretion: the agent deposits a substance into the extracellular
+// diffusion grid each step (e.g. a tumor cell consuming oxygen is modeled as
+// a negative rate).
+#ifndef BIOSIM_CORE_BEHAVIORS_SECRETION_H_
+#define BIOSIM_CORE_BEHAVIORS_SECRETION_H_
+
+#include <memory>
+
+#include "core/behavior.h"
+#include "core/cell.h"
+#include "diffusion/diffusion_grid.h"
+
+namespace biosim {
+
+class Secretion : public Behavior {
+ public:
+  /// `rate`: concentration units added to the agent's voxel per hour.
+  explicit Secretion(double rate) : rate_(rate) {}
+
+  void Run(Cell& cell, SimContext& ctx) override {
+    if (ctx.diffusion_grid != nullptr) {
+      ctx.diffusion_grid->IncreaseConcentrationBy(
+          cell.position(), rate_ * ctx.param().simulation_time_step);
+    }
+  }
+
+  std::unique_ptr<Behavior> Clone() const override {
+    return std::make_unique<Secretion>(*this);
+  }
+
+  const char* name() const override { return "Secretion"; }
+
+ private:
+  double rate_;
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_BEHAVIORS_SECRETION_H_

@@ -1,0 +1,157 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace biosim {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'I', 'O', 'S', 'I', 'M', 'C', 'K'};
+constexpr uint64_t kVersion = 1;
+
+struct Writer {
+  explicit Writer(const std::string& path)
+      : f(std::fopen(path.c_str(), "wb")) {}
+  ~Writer() {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+  bool ok() const { return f != nullptr && std::ferror(f) == 0; }
+
+  void U64(uint64_t v) {
+    // Explicit little-endian bytes: files are portable across hosts.
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) {
+      b[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    std::fwrite(b, 1, 8, f);
+  }
+  void Doubles(const std::vector<double>& v) {
+    U64(v.size());
+    std::fwrite(v.data(), sizeof(double), v.size(), f);
+  }
+  void Vec3s(const std::vector<Double3>& v) {
+    U64(v.size());
+    std::fwrite(v.data(), sizeof(Double3), v.size(), f);
+  }
+
+  std::FILE* f;
+};
+
+struct Reader {
+  explicit Reader(const std::string& path)
+      : f(std::fopen(path.c_str(), "rb")) {}
+  ~Reader() {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+  bool ok() const { return f != nullptr && !failed; }
+
+  uint64_t U64() {
+    unsigned char b[8];
+    if (std::fread(b, 1, 8, f) != 8) {
+      failed = true;
+      return 0;
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(b[i]) << (8 * i);
+    }
+    return v;
+  }
+  std::vector<double> Doubles(uint64_t expected) {
+    uint64_t n = U64();
+    if (failed || n != expected) {
+      failed = true;
+      return {};
+    }
+    std::vector<double> v(n);
+    if (std::fread(v.data(), sizeof(double), n, f) != n) {
+      failed = true;
+    }
+    return v;
+  }
+  std::vector<Double3> Vec3s(uint64_t expected) {
+    uint64_t n = U64();
+    if (failed || n != expected) {
+      failed = true;
+      return {};
+    }
+    std::vector<Double3> v(n);
+    if (std::fread(v.data(), sizeof(Double3), n, f) != n) {
+      failed = true;
+    }
+    return v;
+  }
+
+  std::FILE* f;
+  bool failed = false;
+};
+
+}  // namespace
+
+bool SaveCheckpoint(const ResourceManager& rm, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) {
+    return false;
+  }
+  std::fwrite(kMagic, 1, sizeof(kMagic), w.f);
+  w.U64(kVersion);
+  w.U64(rm.size());
+  w.Vec3s(rm.positions());
+  w.Doubles(rm.diameters());
+  w.Doubles(rm.volumes());
+  w.Doubles(rm.adherences());
+  w.Doubles(rm.densities());
+  w.Vec3s(rm.tractor_forces());
+  w.U64(rm.uids().size());
+  std::fwrite(rm.uids().data(), sizeof(AgentUid), rm.uids().size(), w.f);
+  w.U64(rm.next_uid());
+  return w.ok();
+}
+
+bool LoadCheckpoint(ResourceManager* rm, const std::string& path) {
+  Reader r(path);
+  if (!r.ok()) {
+    return false;
+  }
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), r.f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  if (r.U64() != kVersion) {
+    return false;
+  }
+  uint64_t n = r.U64();
+
+  auto positions = r.Vec3s(n);
+  auto diameters = r.Doubles(n);
+  auto volumes = r.Doubles(n);
+  auto adherences = r.Doubles(n);
+  auto densities = r.Doubles(n);
+  auto tractor = r.Vec3s(n);
+  uint64_t uid_count = r.U64();
+  if (r.failed || uid_count != n) {
+    return false;
+  }
+  std::vector<AgentUid> uids(n);
+  if (std::fread(uids.data(), sizeof(AgentUid), n, r.f) != n) {
+    return false;
+  }
+  AgentUid next_uid = r.U64();
+  if (r.failed) {
+    return false;
+  }
+
+  rm->RestorePopulation(std::move(positions), std::move(diameters),
+                        std::move(volumes), std::move(adherences),
+                        std::move(densities), std::move(tractor),
+                        std::move(uids), next_uid);
+  return true;
+}
+
+}  // namespace biosim

@@ -1,0 +1,72 @@
+#include "core/export.h"
+
+#include <cstdio>
+
+namespace biosim {
+
+namespace {
+
+/// fopen/fclose RAII so every early return still closes the stream.
+struct File {
+  explicit File(const std::string& path) : f(std::fopen(path.c_str(), "w")) {}
+  ~File() {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+  std::FILE* f;
+};
+
+}  // namespace
+
+bool ExportCellsCsv(const ResourceManager& rm, const std::string& path) {
+  File out(path);
+  if (out.f == nullptr) {
+    return false;
+  }
+  std::fprintf(out.f, "uid,x,y,z,diameter,volume,adherence\n");
+  for (size_t i = 0; i < rm.size(); ++i) {
+    const Double3& p = rm.positions()[i];
+    std::fprintf(out.f, "%llu,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n",
+                 static_cast<unsigned long long>(rm.uids()[i]), p.x, p.y, p.z,
+                 rm.diameters()[i], rm.volumes()[i], rm.adherences()[i]);
+  }
+  return std::ferror(out.f) == 0;
+}
+
+bool ExportCellsVtk(const ResourceManager& rm, const std::string& path) {
+  File out(path);
+  if (out.f == nullptr) {
+    return false;
+  }
+  size_t n = rm.size();
+  std::fprintf(out.f,
+               "# vtk DataFile Version 3.0\n"
+               "biosim cell population\n"
+               "ASCII\n"
+               "DATASET POLYDATA\n"
+               "POINTS %zu double\n",
+               n);
+  for (size_t i = 0; i < n; ++i) {
+    const Double3& p = rm.positions()[i];
+    std::fprintf(out.f, "%.9g %.9g %.9g\n", p.x, p.y, p.z);
+  }
+  std::fprintf(out.f, "POINT_DATA %zu\n", n);
+
+  std::fprintf(out.f, "SCALARS diameter double 1\nLOOKUP_TABLE default\n");
+  for (size_t i = 0; i < n; ++i) {
+    std::fprintf(out.f, "%.9g\n", rm.diameters()[i]);
+  }
+  std::fprintf(out.f, "SCALARS volume double 1\nLOOKUP_TABLE default\n");
+  for (size_t i = 0; i < n; ++i) {
+    std::fprintf(out.f, "%.9g\n", rm.volumes()[i]);
+  }
+  std::fprintf(out.f, "SCALARS uid unsigned_long 1\nLOOKUP_TABLE default\n");
+  for (size_t i = 0; i < n; ++i) {
+    std::fprintf(out.f, "%llu\n",
+                 static_cast<unsigned long long>(rm.uids()[i]));
+  }
+  return std::ferror(out.f) == 0;
+}
+
+}  // namespace biosim

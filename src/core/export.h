@@ -1,0 +1,30 @@
+// Population export for visualization and post-processing.
+//
+// The paper's Fig. 2 is a rendered snapshot of the cell-division model
+// (colored by diameter); these writers produce the equivalent data in two
+// portable formats:
+//
+//   CSV         -- one row per cell (position, diameter, volume, uid), for
+//                  pandas/R post-processing of benchmark populations.
+//   legacy VTK  -- POLYDATA points with diameter/volume/uid point data,
+//                  loadable directly in ParaView (use a Glyph/sphere filter
+//                  scaled by the "diameter" array to reproduce Fig. 2).
+#ifndef BIOSIM_CORE_EXPORT_H_
+#define BIOSIM_CORE_EXPORT_H_
+
+#include <string>
+
+#include "core/resource_manager.h"
+
+namespace biosim {
+
+/// Write the population as CSV; returns false on I/O failure.
+bool ExportCellsCsv(const ResourceManager& rm, const std::string& path);
+
+/// Write the population as a legacy-VTK point cloud; returns false on I/O
+/// failure.
+bool ExportCellsVtk(const ResourceManager& rm, const std::string& path);
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_EXPORT_H_

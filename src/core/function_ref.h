@@ -1,0 +1,41 @@
+// Non-owning callable reference (std::function_ref is C++26; this is the
+// usual minimal backport). Used for neighbor-iteration callbacks, which run
+// millions of times per step and must not allocate or type-erase through
+// std::function.
+#ifndef BIOSIM_CORE_FUNCTION_REF_H_
+#define BIOSIM_CORE_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace biosim {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor): by design
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_FUNCTION_REF_H_

@@ -1,0 +1,201 @@
+// Small fixed-size vector math used throughout the engine.
+//
+// The engine stores agent state in structs-of-arrays (see resource_manager.h),
+// so Real3 is deliberately a trivially-copyable POD aggregate: it is the unit
+// that gets packed into contiguous x/y/z arrays and shipped to the device
+// buffers byte-for-byte.
+#ifndef BIOSIM_CORE_MATH_H_
+#define BIOSIM_CORE_MATH_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace biosim {
+
+/// 3-component vector templated on precision. `T` is `double` on the host
+/// engine and `float` in the FP32 GPU pipeline (paper Improvement I).
+template <typename T>
+struct Real3 {
+  T x{0}, y{0}, z{0};
+
+  constexpr T& operator[](size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Real3 operator+(const Real3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Real3 operator-(const Real3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Real3 operator*(T s) const { return {x * s, y * s, z * s}; }
+  constexpr Real3 operator/(T s) const { return {x / s, y / s, z / s}; }
+  constexpr Real3 operator-() const { return {-x, -y, -z}; }
+
+  Real3& operator+=(const Real3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Real3& operator-=(const Real3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Real3& operator*=(T s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Real3& o) const = default;
+
+  constexpr T Dot(const Real3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Real3 Cross(const Real3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr T SquaredNorm() const { return Dot(*this); }
+  T Norm() const { return std::sqrt(SquaredNorm()); }
+
+  /// Unit vector in the same direction; the zero vector maps to zero
+  /// (callers in the force pipeline guard the degenerate case themselves).
+  Real3 Normalized() const {
+    T n = Norm();
+    return n > T{0} ? *this / n : Real3{};
+  }
+
+  template <typename U>
+  constexpr Real3<U> As() const {
+    return {static_cast<U>(x), static_cast<U>(y), static_cast<U>(z)};
+  }
+};
+
+template <typename T>
+constexpr Real3<T> operator*(T s, const Real3<T>& v) {
+  return v * s;
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Real3<T>& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+using Double3 = Real3<double>;
+using Float3 = Real3<float>;
+using Int3 = Real3<int32_t>;
+
+template <typename T>
+T SquaredDistance(const Real3<T>& a, const Real3<T>& b) {
+  return (a - b).SquaredNorm();
+}
+
+template <typename T>
+T Distance(const Real3<T>& a, const Real3<T>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Axis-aligned bounding box; the uniform grid and the kd-tree both anchor
+/// their spatial decomposition to the simulation AABB.
+template <typename T>
+struct AABB {
+  Real3<T> min{std::numeric_limits<T>::max(), std::numeric_limits<T>::max(),
+               std::numeric_limits<T>::max()};
+  Real3<T> max{std::numeric_limits<T>::lowest(),
+               std::numeric_limits<T>::lowest(),
+               std::numeric_limits<T>::lowest()};
+
+  void Extend(const Real3<T>& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    min.z = std::min(min.z, p.z);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+    max.z = std::max(max.z, p.z);
+  }
+
+  /// Grow to cover another box (named distinctly so brace-init point
+  /// arguments to Extend stay unambiguous).
+  void Merge(const AABB& o) {
+    Extend(o.min);
+    Extend(o.max);
+  }
+
+  bool Contains(const Real3<T>& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+
+  bool Valid() const { return min.x <= max.x && min.y <= max.y && min.z <= max.z; }
+
+  Real3<T> Size() const { return max - min; }
+  Real3<T> Center() const { return (min + max) * T{0.5}; }
+
+  /// Squared distance from `p` to the box (0 when inside); used by the
+  /// kd-tree radius query to prune subtrees.
+  T SquaredDistanceTo(const Real3<T>& p) const {
+    T d2{0};
+    for (size_t i = 0; i < 3; ++i) {
+      T v = p[i];
+      if (v < min[i]) {
+        T d = min[i] - v;
+        d2 += d * d;
+      } else if (v > max[i]) {
+        T d = v - max[i];
+        d2 += d * d;
+      }
+    }
+    return d2;
+  }
+};
+
+using AABBd = AABB<double>;
+
+namespace math {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEpsilon = 1e-9;
+
+/// Volume of a sphere with the given diameter.
+inline double SphereVolume(double diameter) {
+  double r = diameter / 2.0;
+  return 4.0 / 3.0 * kPi * r * r * r;
+}
+
+/// Diameter of a sphere with the given volume (inverse of SphereVolume).
+inline double SphereDiameter(double volume) {
+  return 2.0 * std::cbrt(volume * 3.0 / (4.0 * kPi));
+}
+
+template <typename T>
+T Clamp(T v, T lo, T hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+/// Clamp the norm of `v` to at most `max_norm` (paper: the final displacement
+/// vector length is limited by an upper bound).
+template <typename T>
+Real3<T> ClampNorm(const Real3<T>& v, T max_norm) {
+  T n2 = v.SquaredNorm();
+  if (n2 <= max_norm * max_norm || n2 == T{0}) {
+    return v;
+  }
+  return v * (max_norm / std::sqrt(n2));
+}
+
+inline bool AlmostEqual(double a, double b, double tol = 1e-9) {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace math
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_MATH_H_

@@ -1,0 +1,79 @@
+// Per-operation wall-clock profile of the simulation loop.
+//
+// This is what regenerates the paper's Fig. 3 (runtime profile of the cell
+// division benchmark): each scheduler operation accumulates its time here
+// and ToString() renders the percentage breakdown.
+#ifndef BIOSIM_CORE_PROFILER_H_
+#define BIOSIM_CORE_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace biosim {
+
+class OpProfile {
+ public:
+  struct Entry {
+    std::string name;
+    double total_ms = 0.0;
+    uint64_t calls = 0;
+  };
+
+  /// Accumulate `ms` under `name` (entries keep first-seen order).
+  void Add(const std::string& name, double ms) {
+    for (auto& e : entries_) {
+      if (e.name == name) {
+        e.total_ms += ms;
+        e.calls += 1;
+        return;
+      }
+    }
+    entries_.push_back({name, ms, 1});
+  }
+
+  double TotalMs(const std::string& name) const {
+    for (const auto& e : entries_) {
+      if (e.name == name) {
+        return e.total_ms;
+      }
+    }
+    return 0.0;
+  }
+
+  double GrandTotalMs() const {
+    double t = 0.0;
+    for (const auto& e : entries_) {
+      t += e.total_ms;
+    }
+    return t;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  void Reset() { entries_.clear(); }
+
+  /// Render a Fig. 3-style breakdown table.
+  std::string ToString() const {
+    double total = GrandTotalMs();
+    std::string out;
+    out += "operation                     time_ms      share\n";
+    char line[128];
+    for (const auto& e : entries_) {
+      double pct = total > 0.0 ? 100.0 * e.total_ms / total : 0.0;
+      snprintf(line, sizeof(line), "%-28s %9.2f    %6.2f%%\n", e.name.c_str(),
+               e.total_ms, pct);
+      out += line;
+    }
+    snprintf(line, sizeof(line), "%-28s %9.2f    100.00%%\n", "TOTAL", total);
+    out += line;
+    return out;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_PROFILER_H_

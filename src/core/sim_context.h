@@ -1,0 +1,47 @@
+// Per-step execution context handed to behaviors.
+//
+// Bundles everything a behavior may touch besides its own agent: the
+// parameters, a deterministic per-agent RNG, and the deferred structural
+// change queues. Passing a context rather than a global Simulation keeps
+// behaviors testable in isolation.
+#ifndef BIOSIM_CORE_SIM_CONTEXT_H_
+#define BIOSIM_CORE_SIM_CONTEXT_H_
+
+#include <cstdint>
+
+#include "core/param.h"
+#include "core/random.h"
+#include "core/resource_manager.h"
+
+namespace biosim {
+
+class DiffusionGrid;
+
+class SimContext {
+ public:
+  SimContext(const Param& param, ResourceManager& rm, uint64_t step)
+      : param_(param), rm_(rm), step_(step) {}
+
+  const Param& param() const { return param_; }
+  ResourceManager& rm() { return rm_; }
+  uint64_t step() const { return step_; }
+
+  /// RNG stream that depends only on (seed, agent uid, step): results are
+  /// reproducible across thread counts and iteration orders.
+  Random RandomFor(AgentUid uid) const {
+    return Random::ForStream(param_.random_seed, uid, step_);
+  }
+
+  /// Extracellular substance grid, if the model registered one (may be
+  /// nullptr; set by the Simulation before behaviors run).
+  DiffusionGrid* diffusion_grid = nullptr;
+
+ private:
+  const Param& param_;
+  ResourceManager& rm_;
+  uint64_t step_;
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_SIM_CONTEXT_H_

@@ -1,0 +1,133 @@
+#include "core/simulation.h"
+
+#include "core/behaviors/grow_divide.h"
+#include "core/cell.h"
+#include "core/sim_context.h"
+#include "core/timer.h"
+#include "spatial/uniform_grid.h"
+
+namespace biosim {
+
+Simulation::Simulation(Param param)
+    : param_(param),
+      env_(std::make_unique<UniformGridEnvironment>()),
+      backend_(std::make_unique<CpuMechanicsBackend>()) {
+  param_.Validate();
+  SetNumThreads(param_.num_threads);
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::SetEnvironment(std::unique_ptr<Environment> env) {
+  env_ = std::move(env);
+}
+
+void Simulation::SetMechanicsBackend(std::unique_ptr<MechanicsBackend> backend) {
+  backend_ = std::move(backend);
+}
+
+void Simulation::AddDiffusionGrid(std::unique_ptr<DiffusionGrid> grid) {
+  diffusion_grids_.push_back(std::move(grid));
+}
+
+DiffusionGrid* Simulation::diffusion_grid() {
+  return diffusion_grids_.empty() ? nullptr : diffusion_grids_.front().get();
+}
+
+DiffusionGrid* Simulation::diffusion_grid(const std::string& substance) {
+  for (auto& g : diffusion_grids_) {
+    if (g->substance_name() == substance) {
+      return g.get();
+    }
+  }
+  return nullptr;
+}
+
+AgentIndex Simulation::AddCell(const Double3& position, double diameter) {
+  NewAgentSpec spec;
+  spec.position = position;
+  spec.diameter = diameter;
+  spec.adherence = param_.default_adherence;
+  spec.density = param_.default_density;
+  return rm_.AddAgent(std::move(spec));
+}
+
+void Simulation::Create3DCellGrid(size_t cells_per_dim, double spacing,
+                                  double diameter, double divide_threshold,
+                                  double growth_rate) {
+  rm_.Reserve(rm_.size() + cells_per_dim * cells_per_dim * cells_per_dim);
+  for (size_t x = 0; x < cells_per_dim; ++x) {
+    for (size_t y = 0; y < cells_per_dim; ++y) {
+      for (size_t z = 0; z < cells_per_dim; ++z) {
+        Double3 pos{param_.min_bound + (static_cast<double>(x) + 0.5) * spacing,
+                    param_.min_bound + (static_cast<double>(y) + 0.5) * spacing,
+                    param_.min_bound + (static_cast<double>(z) + 0.5) * spacing};
+        AgentIndex idx = AddCell(pos, diameter);
+        rm_.AttachBehavior(
+            idx, std::make_unique<GrowDivide>(divide_threshold, growth_rate));
+      }
+    }
+  }
+}
+
+void Simulation::CreateRandomCells(size_t count, double diameter) {
+  Random rng(param_.random_seed);
+  rm_.Reserve(rm_.size() + count);
+  for (size_t i = 0; i < count; ++i) {
+    AddCell(rng.UniformInCube(param_.min_bound, param_.max_bound), diameter);
+  }
+}
+
+void Simulation::RunBehaviors() {
+  size_t n = rm_.size();
+  SimContext ctx(param_, rm_, step_);
+  ctx.diffusion_grid = diffusion_grid();
+
+  // Deferred structural changes make parallel execution safe; the commit
+  // phase re-sorts them by mother row, so the outcome is thread-count
+  // independent (each agent's RNG stream is keyed by uid and step).
+  ParallelFor(mode_, n, [&](size_t i) {
+    if (rm_.behaviors_of(i).empty()) {
+      return;
+    }
+    Cell cell(rm_, i);
+    for (const auto& b : rm_.behaviors_of(i)) {
+      b->Run(cell, ctx);
+    }
+  });
+}
+
+void Simulation::Simulate(uint64_t steps) {
+  for (uint64_t s = 0; s < steps; ++s) {
+    {
+      Timer t;
+      RunBehaviors();
+      profile_.Add("cell behaviors", t.ElapsedMs());
+    }
+    {
+      Timer t;
+      rm_.CommitStructuralChanges();
+      profile_.Add("commit", t.ElapsedMs());
+    }
+    {
+      Timer t;
+      env_->Update(rm_, param_, mode_);
+      profile_.Add("neighborhood update", t.ElapsedMs());
+    }
+    {
+      Timer t;
+      backend_->Step(rm_, *env_, param_, mode_, &profile_);
+      profile_.Add("mechanical forces", t.ElapsedMs());
+    }
+    if (!diffusion_grids_.empty()) {
+      Timer t;
+      for (auto& g : diffusion_grids_) {
+        g->Step(param_.simulation_time_step, mode_);
+      }
+      profile_.Add("diffusion", t.ElapsedMs());
+    }
+    ++step_;
+  }
+}
+
+}  // namespace biosim

@@ -1,0 +1,111 @@
+#include "core/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/math.h"
+#include "spatial/environment.h"
+
+namespace biosim {
+
+ScalarStats ScalarStats::Of(const std::vector<double>& values) {
+  ScalarStats s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double v : values) {
+    var += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+ScalarStats DiameterStats(const ResourceManager& rm) {
+  return ScalarStats::Of(rm.diameters());
+}
+
+NeighborStats ComputeNeighborStats(const ResourceManager& rm,
+                                   const Environment& env,
+                                   size_t max_bucket) {
+  NeighborStats out;
+  out.histogram.assign(max_bucket + 1, 0);
+  std::vector<double> counts(rm.size(), 0.0);
+  for (size_t i = 0; i < rm.size(); ++i) {
+    size_t k = 0;
+    env.ForEachNeighborWithinRadius(i, rm, env.interaction_radius(),
+                                    [&](AgentIndex, double) { ++k; });
+    counts[i] = static_cast<double>(k);
+    out.histogram[std::min(k, max_bucket)] += 1;
+  }
+  out.counts = ScalarStats::Of(counts);
+  return out;
+}
+
+std::vector<double> RadialDistribution(const ResourceManager& rm,
+                                       const Environment& env, double r_max,
+                                       size_t bins, size_t max_samples) {
+  std::vector<double> g(bins, 0.0);
+  size_t n = rm.size();
+  if (n < 2 || bins == 0 || r_max <= 0.0) {
+    return g;
+  }
+
+  size_t stride = std::max<size_t>(1, n / max_samples);
+  size_t samples = 0;
+  std::vector<size_t> pair_counts(bins, 0);
+  for (size_t i = 0; i < n; i += stride) {
+    ++samples;
+    env.ForEachNeighborWithinRadius(
+        i, rm, r_max, [&](AgentIndex, double d2) {
+          double r = std::sqrt(d2);
+          size_t bin = std::min(bins - 1, static_cast<size_t>(
+                                              r / r_max *
+                                              static_cast<double>(bins)));
+          pair_counts[bin] += 1;
+        });
+  }
+
+  // Normalize by the ideal-gas expectation for each shell.
+  AABBd bounds = rm.Bounds();
+  Double3 size = bounds.Size();
+  double volume = std::max(size.x * size.y * size.z, 1e-12);
+  double rho = static_cast<double>(n) / volume;
+  double dr = r_max / static_cast<double>(bins);
+  for (size_t b = 0; b < bins; ++b) {
+    double r_lo = static_cast<double>(b) * dr;
+    double r_hi = r_lo + dr;
+    double shell = 4.0 / 3.0 * math::kPi *
+                   (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    double expected = rho * shell * static_cast<double>(samples);
+    g[b] = expected > 0.0 ? static_cast<double>(pair_counts[b]) / expected
+                          : 0.0;
+  }
+  return g;
+}
+
+std::string SummarizePopulation(const ResourceManager& rm,
+                                const Environment& env) {
+  ScalarStats d = DiameterStats(rm);
+  NeighborStats nb = ComputeNeighborStats(rm, env);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu diameter=%.2f+-%.2f [%.2f,%.2f] neighbors=%.1f+-%.1f "
+                "max=%zu",
+                rm.size(), d.mean, d.stddev, d.min, d.max, nb.counts.mean,
+                nb.counts.stddev, static_cast<size_t>(nb.counts.max));
+  return buf;
+}
+
+}  // namespace biosim

@@ -1,0 +1,64 @@
+// Population statistics for model analysis and benchmark validation.
+//
+// The paper's benchmark B is parameterized by "the average number of
+// neighboring agents per agent"; these helpers compute that and related
+// structure metrics (neighbor-count histogram, radial distribution
+// function, diameter statistics) so models and benches can verify the
+// populations they construct.
+#ifndef BIOSIM_CORE_STATISTICS_H_
+#define BIOSIM_CORE_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resource_manager.h"
+
+namespace biosim {
+
+class Environment;
+struct Param;
+
+/// Simple accumulator: count/mean/min/max/stddev of a scalar series.
+struct ScalarStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static ScalarStats Of(const std::vector<double>& values);
+};
+
+/// Diameter distribution of the population.
+ScalarStats DiameterStats(const ResourceManager& rm);
+
+/// Per-agent neighbor counts at the environment's interaction radius
+/// (requires env.Update to have run), plus their histogram.
+struct NeighborStats {
+  ScalarStats counts;
+  /// histogram[k] = number of agents with exactly k neighbors; the last
+  /// bucket aggregates >= histogram.size()-1.
+  std::vector<size_t> histogram;
+};
+NeighborStats ComputeNeighborStats(const ResourceManager& rm,
+                                   const Environment& env,
+                                   size_t max_bucket = 64);
+
+/// Radial distribution function g(r): the density of pairwise distances
+/// relative to an ideal gas, over [0, r_max) in `bins` buckets. Uses a
+/// random sample of at most `max_samples` agents against the environment
+/// (r_max must be <= the interaction radius, which bounds what the spatial
+/// index can answer).
+std::vector<double> RadialDistribution(const ResourceManager& rm,
+                                       const Environment& env, double r_max,
+                                       size_t bins,
+                                       size_t max_samples = 2000);
+
+/// Render a one-line summary ("n=... mean_d=... mean_neighbors=...").
+std::string SummarizePopulation(const ResourceManager& rm,
+                                const Environment& env);
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_STATISTICS_H_

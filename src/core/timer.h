@@ -1,0 +1,44 @@
+// Wall-clock timing utilities used by the scheduler profiler and benches.
+#ifndef BIOSIM_CORE_TIMER_H_
+#define BIOSIM_CORE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace biosim {
+
+/// Monotonic wall-clock stopwatch with millisecond/microsecond readouts.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMs() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedUs() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed milliseconds to `*sink` on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* sink_ms) : sink_(sink_ms) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedMs(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  Timer timer_;
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_TIMER_H_

@@ -1,0 +1,108 @@
+#include "core/timeseries.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/simulation.h"
+
+namespace biosim {
+
+void TimeSeriesRecorder::AddMetric(std::string name, Metric metric) {
+  for (const auto& existing : names_) {
+    if (existing == name) {
+      throw std::invalid_argument("duplicate metric name: " + name);
+    }
+  }
+  names_.push_back(std::move(name));
+  metrics_.push_back(std::move(metric));
+}
+
+void TimeSeriesRecorder::Record(Simulation& sim) {
+  if (interval_ == 0 || sim.step() % interval_ != 0) {
+    return;
+  }
+  steps_.push_back(sim.step());
+  std::vector<double> row;
+  row.reserve(metrics_.size());
+  for (auto& m : metrics_) {
+    row.push_back(m(sim));
+  }
+  rows_.push_back(std::move(row));
+}
+
+size_t TimeSeriesRecorder::IndexOf(const std::string& metric) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == metric) {
+      return i;
+    }
+  }
+  throw std::out_of_range("unknown metric: " + metric);
+}
+
+std::vector<double> TimeSeriesRecorder::Column(
+    const std::string& metric) const {
+  size_t idx = IndexOf(metric);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    out.push_back(row[idx]);
+  }
+  return out;
+}
+
+double TimeSeriesRecorder::At(size_t row, const std::string& metric) const {
+  return rows_.at(row)[IndexOf(metric)];
+}
+
+bool TimeSeriesRecorder::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "step");
+  for (const auto& name : names_) {
+    std::fprintf(f, ",%s", name.c_str());
+  }
+  std::fprintf(f, "\n");
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::fprintf(f, "%llu", static_cast<unsigned long long>(steps_[r]));
+    for (double v : rows_[r]) {
+      std::fprintf(f, ",%.9g", v);
+    }
+    std::fprintf(f, "\n");
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+namespace metrics {
+
+double PopulationSize(Simulation& sim) {
+  return static_cast<double>(sim.rm().size());
+}
+
+double MeanDiameter(Simulation& sim) {
+  if (sim.rm().empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double d : sim.rm().diameters()) {
+    sum += d;
+  }
+  return sum / static_cast<double>(sim.rm().size());
+}
+
+double TotalVolume(Simulation& sim) { return sim.rm().TotalVolume(); }
+
+double BoundingBoxVolume(Simulation& sim) {
+  AABBd b = sim.rm().Bounds();
+  if (!b.Valid()) {
+    return 0.0;
+  }
+  Double3 s = b.Size();
+  return s.x * s.y * s.z;
+}
+
+}  // namespace metrics
+}  // namespace biosim

@@ -1,0 +1,63 @@
+// Per-step metric recording.
+//
+// Models register named metric callbacks; the recorder samples them each
+// step (or every k steps) and writes a CSV for plotting. Used by the
+// examples to trace population growth, substance levels, etc. without
+// hand-rolled printf loops.
+#ifndef BIOSIM_CORE_TIMESERIES_H_
+#define BIOSIM_CORE_TIMESERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace biosim {
+
+class Simulation;
+
+class TimeSeriesRecorder {
+ public:
+  using Metric = std::function<double(Simulation&)>;
+
+  /// Record every `interval` steps (1 = every step).
+  explicit TimeSeriesRecorder(uint64_t interval = 1) : interval_(interval) {}
+
+  /// Register a metric column. Names must be unique and CSV-safe.
+  void AddMetric(std::string name, Metric metric);
+
+  /// Sample all metrics if `sim.step()` is on the interval.
+  void Record(Simulation& sim);
+
+  size_t num_rows() const { return steps_.size(); }
+  const std::vector<std::string>& metric_names() const { return names_; }
+  const std::vector<uint64_t>& steps() const { return steps_; }
+  /// Values of column `metric` across rows.
+  std::vector<double> Column(const std::string& metric) const;
+  /// Value at (row, column-name); throws std::out_of_range on bad names.
+  double At(size_t row, const std::string& metric) const;
+
+  /// Write "step,<metric...>" CSV; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  size_t IndexOf(const std::string& metric) const;
+
+  uint64_t interval_;
+  std::vector<std::string> names_;
+  std::vector<Metric> metrics_;
+  std::vector<uint64_t> steps_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Stock metrics.
+namespace metrics {
+double PopulationSize(Simulation& sim);
+double MeanDiameter(Simulation& sim);
+double TotalVolume(Simulation& sim);
+double BoundingBoxVolume(Simulation& sim);
+}  // namespace metrics
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_TIMESERIES_H_

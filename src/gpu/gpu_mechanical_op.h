@@ -1,0 +1,161 @@
+// GPU offload of the mechanical-interaction operation (host side).
+//
+// Drop-in MechanicsBackend that reproduces the paper's pipeline per step:
+//
+//   [device] optional Z-order sort (Improvement II): modeled thrust-style
+//            charge by default, or the real radix-sort kernels
+//            (device_radix_sort); the host SoA mirror is kept in sync
+//   [host]   grid geometry from the population bounds
+//   [h2d]    copy only the attribute arrays the kernel needs (SoA, no
+//            gather; skipped while persistent_device_state is resident)
+//   [device] ug_reset + ug_build  (grid construction on the GPU)
+//   [device] mech kernel          (v0/v1/v2 per-agent thread, v3
+//            shared-memory tile, or v4 warp-per-cell)
+//   [d2h]    copy the displacement arrays back (or apply on-device in
+//            persistent mode)
+//   [host]   apply displacements + bound space
+//
+// The paper's versions (plus its future-work v4) are option presets
+// (GpuMechanicsOptions::Version). Launches route through either the
+// CUDA-like or the OpenCL-like front-end; both drive the same simulated
+// device, mirroring the paper's dual port.
+//
+// Timing: all device work (kernels + transfers + the sort) accrues on the
+// *simulated* clock (device().ElapsedMs()); see EXPERIMENTS.md for how the
+// harness reports it.
+#ifndef BIOSIM_GPU_GPU_MECHANICAL_OP_H_
+#define BIOSIM_GPU_GPU_MECHANICAL_OP_H_
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "gpu/device_sort.h"
+#include "gpu/grid_params.h"
+#include "gpu/mech_device_state.h"
+#include "gpusim/cuda_like.h"
+#include "gpusim/opencl_like.h"
+#include "physics/mechanics_backend.h"
+
+namespace biosim::gpu {
+
+enum class GpuBackendKind : uint8_t { kCudaLike, kOpenClLike };
+enum class GpuPrecision : uint8_t { kFp64, kFp32 };
+
+struct GpuMechanicsOptions {
+  GpuBackendKind backend = GpuBackendKind::kCudaLike;
+  GpuPrecision precision = GpuPrecision::kFp32;
+  /// Improvement II: Z-order sort the agent SoA arrays each step.
+  bool zorder_sort = false;
+  /// How the sort is costed/executed: false = functional host sort with a
+  /// modeled device-sort charge (fast to simulate); true = run the real
+  /// device radix-sort kernels through the simulator (device_sort.h).
+  bool device_radix_sort = false;
+  /// Improvement III: use the shared-memory tile kernel.
+  bool use_shared_memory = false;
+  /// Paper future work (Section VI): parallelize the per-cell neighbor loop
+  /// with a warp per cell instead of a thread per cell.
+  bool neighbor_parallel = false;
+  /// Threads per block / work-group size.
+  size_t block_dim = 128;
+  /// Warp-sampling stride for the performance counters (1 = exact).
+  int meter_stride = 1;
+  /// Fixed grid box edge (0 = derive from largest diameter); benchmark B.
+  double fixed_box_length = 0.0;
+  /// Keep agent state resident on the device across steps: displacements
+  /// are applied by a device kernel and the per-step H2D/D2H transfers
+  /// disappear. Contract: the mechanics op must be the only thing mutating
+  /// positions (no behaviors moving/growing cells between syncs); a
+  /// population-size change triggers an automatic re-upload, and
+  /// SyncToHost() refreshes the host arrays on demand. Incompatible with
+  /// zorder_sort (which permutes the host arrays every step).
+  bool persistent_device_state = false;
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::GTX1080Ti();
+
+  /// The paper's GPU version ladder: 0 = FP64 baseline port, 1 = +FP32,
+  /// 2 = +Z-order sorting, 3 = +shared memory. Version 4 is the paper's
+  /// *future work* (neighbor-parallel: warp per cell) on top of version 2.
+  static GpuMechanicsOptions Version(int v,
+                                     gpusim::DeviceSpec spec =
+                                         gpusim::DeviceSpec::GTX1080Ti()) {
+    GpuMechanicsOptions o;
+    o.device = std::move(spec);
+    o.precision = v >= 1 ? GpuPrecision::kFp32 : GpuPrecision::kFp64;
+    o.zorder_sort = v >= 2;
+    o.use_shared_memory = v == 3;
+    o.neighbor_parallel = v == 4;
+    return o;
+  }
+};
+
+class GpuMechanicalOp : public MechanicsBackend {
+ public:
+  explicit GpuMechanicalOp(GpuMechanicsOptions options);
+
+  void Step(ResourceManager& rm, const Environment& env, const Param& param,
+            ExecMode mode, OpProfile* profile) override;
+
+  const char* name() const override { return "gpu"; }
+
+  const GpuMechanicsOptions& options() const { return options_; }
+  gpusim::Device& device();
+  const gpusim::Device& device() const;
+
+  /// Simulated GPU time accumulated so far (kernels + transfers), ms.
+  double SimulatedMs() const { return device().ElapsedMs(); }
+  /// Measured host time spent in the Z-order sort, ms.
+  double HostSortMs() const { return host_sort_ms_; }
+
+  /// Persistent mode: copy the device-resident positions back into the
+  /// host ResourceManager (D2H, metered). No-op otherwise.
+  void SyncToHost(ResourceManager& rm);
+  /// Last step's displacements in double precision (GPU-vs-CPU tests).
+  const std::vector<Double3>& last_displacements() const {
+    return last_displacements_;
+  }
+
+ private:
+  template <typename T>
+  void StepImpl(ResourceManager& rm, const Param& param, ExecMode mode,
+                OpProfile* profile);
+
+  /// Improvement II via the real device radix-sort kernels.
+  void SortOnDevice(ResourceManager& rm, const Param& param, ExecMode mode);
+
+  template <typename T>
+  MechDeviceState<T>& state();
+
+  /// Front-end-agnostic launch/copy helpers (dispatch on options_.backend).
+  template <typename T>
+  gpusim::DeviceBuffer<T> AllocBuffer(size_t n);
+  template <typename T>
+  void H2D(gpusim::DeviceBuffer<T>& dst, const std::vector<T>& src);
+  template <typename T>
+  void D2H(std::vector<T>& dst, const gpusim::DeviceBuffer<T>& src);
+  void LaunchN(const std::string& name, size_t n_threads,
+               const std::function<void(gpusim::BlockCtx&)>& body);
+
+  GpuMechanicsOptions options_;
+  std::variant<gpusim::cuda::Runtime, gpusim::opencl::CommandQueue> front_;
+
+  MechDeviceState<float> state32_;
+  MechDeviceState<double> state64_;
+
+  std::vector<Double3> last_displacements_;
+
+  double host_sort_ms_ = 0.0;
+
+  // persistent-state bookkeeping
+  size_t resident_agents_ = 0;  // 0 = nothing resident
+  double resident_interaction_radius_ = 0.0;
+
+  // device radix-sort state (only allocated when device_radix_sort is on)
+  std::unique_ptr<DeviceRadixSorter> sorter_;
+  gpusim::DeviceBuffer<uint64_t> sort_keys_;
+  gpusim::DeviceBuffer<int32_t> sort_values_;
+};
+
+}  // namespace biosim::gpu
+
+#endif  // BIOSIM_GPU_GPU_MECHANICAL_OP_H_

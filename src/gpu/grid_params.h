@@ -1,0 +1,84 @@
+// Uniform-grid geometry shared between host and device kernels.
+//
+// The host computes the grid extents once per step (an O(n) bounds pass);
+// the parameters travel to the kernels by value, playing the role of CUDA
+// __constant__ memory / OpenCL kernel arguments — uniform data that every
+// thread reads for free.
+#ifndef BIOSIM_GPU_GRID_PARAMS_H_
+#define BIOSIM_GPU_GRID_PARAMS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/param.h"
+#include "core/resource_manager.h"
+
+namespace biosim::gpu {
+
+template <typename T>
+struct GridParams {
+  T min_x{}, min_y{}, min_z{};
+  T box_length{1};
+  int32_t nx = 1, ny = 1, nz = 1;
+
+  size_t total_boxes() const {
+    return static_cast<size_t>(nx) * static_cast<size_t>(ny) *
+           static_cast<size_t>(nz);
+  }
+
+  /// Box coordinate of a position along one axis (clamped).
+  int32_t Coord(T v, T lo, int32_t n) const {
+    int32_t c = static_cast<int32_t>(std::floor((v - lo) / box_length));
+    return std::clamp(c, int32_t{0}, n - 1);
+  }
+
+  size_t FlatIndex(int32_t x, int32_t y, int32_t z) const {
+    return (static_cast<size_t>(z) * static_cast<size_t>(ny) +
+            static_cast<size_t>(y)) *
+               static_cast<size_t>(nx) +
+           static_cast<size_t>(x);
+  }
+
+  size_t BoxOf(T x, T y, T z) const {
+    return FlatIndex(Coord(x, min_x, nx), Coord(y, min_y, ny),
+                     Coord(z, min_z, nz));
+  }
+};
+
+/// Derive the grid from the current population: cubic boxes with edge =
+/// interaction radius (largest diameter + margin), covering the agents'
+/// bounding box. `fixed_box_length` > 0 overrides the edge (benchmark B).
+template <typename T>
+GridParams<T> ComputeGridParams(const ResourceManager& rm, const Param& param,
+                                double fixed_box_length = 0.0) {
+  double radius = rm.LargestDiameter() + param.interaction_radius_margin;
+  double box_length =
+      fixed_box_length > 0.0 ? fixed_box_length : std::max(radius, 1e-6);
+
+  AABBd bounds = rm.Bounds();
+  if (!bounds.Valid()) {
+    // Empty population: a 1-box grid (callers skip the kernels anyway).
+    bounds.min = {0, 0, 0};
+    bounds.max = {1, 1, 1};
+    box_length = 1.0;
+  }
+
+  GridParams<T> g;
+  g.min_x = static_cast<T>(bounds.min.x);
+  g.min_y = static_cast<T>(bounds.min.y);
+  g.min_z = static_cast<T>(bounds.min.z);
+  g.box_length = static_cast<T>(box_length);
+  auto axis = [&](double extent) {
+    return static_cast<int32_t>(std::floor(extent / box_length)) + 1;
+  };
+  Double3 size = bounds.Size();
+  g.nx = axis(size.x);
+  g.ny = axis(size.y);
+  g.nz = axis(size.z);
+  return g;
+}
+
+}  // namespace biosim::gpu
+
+#endif  // BIOSIM_GPU_GRID_PARAMS_H_

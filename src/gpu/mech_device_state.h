@@ -1,0 +1,35 @@
+// Device-resident state for the mechanical-interaction offload.
+//
+// One buffer per agent attribute, mirroring the host's structs-of-arrays
+// layout — the paper's point in Section IV-B: because the host already
+// stores each attribute contiguously, the H2D copies need no gather step.
+#ifndef BIOSIM_GPU_MECH_DEVICE_STATE_H_
+#define BIOSIM_GPU_MECH_DEVICE_STATE_H_
+
+#include <cstdint>
+
+#include "gpusim/device.h"
+
+namespace biosim::gpu {
+
+template <typename T>
+struct MechDeviceState {
+  // agent attributes (inputs)
+  gpusim::DeviceBuffer<T> x, y, z;
+  gpusim::DeviceBuffer<T> diameter;
+  gpusim::DeviceBuffer<T> adherence;
+  gpusim::DeviceBuffer<T> tx, ty, tz;
+  // computed displacements (outputs)
+  gpusim::DeviceBuffer<T> out_x, out_y, out_z;
+  // uniform grid (built on device, Section IV-B: grid + force in one pass)
+  gpusim::DeviceBuffer<int32_t> box_start;
+  gpusim::DeviceBuffer<int32_t> box_count;
+  gpusim::DeviceBuffer<int32_t> successors;
+
+  size_t agent_capacity = 0;
+  size_t box_capacity = 0;
+};
+
+}  // namespace biosim::gpu
+
+#endif  // BIOSIM_GPU_MECH_DEVICE_STATE_H_

@@ -1,0 +1,167 @@
+#include "gpusim/device.h"
+
+#include <algorithm>
+
+namespace biosim::gpusim {
+
+void WarpTracker::Flush(MemoryModel* mem, KernelStats* stats) {
+  if (!metered_) {
+    return;
+  }
+
+  for (const auto& site : read_sites_) {
+    if (!site.empty()) {
+      mem->AccessWarp(site, /*write=*/false, stats);
+    }
+  }
+  for (const auto& site : write_sites_) {
+    if (!site.empty()) {
+      mem->AccessWarp(site, /*write=*/true, stats);
+    }
+  }
+
+  // Atomics: charge the traffic like writes and count warp-internal address
+  // conflicts — k lanes updating the same address serialize into k steps,
+  // k-1 of which are stalls.
+  for (const auto& site : atomic_sites_) {
+    if (site.empty()) {
+      continue;
+    }
+    mem->AccessWarp(site, /*write=*/true, stats);
+    stats->atomic_ops += site.size();
+    // Count per-address multiplicity.
+    std::vector<uint64_t> addrs;
+    addrs.reserve(site.size());
+    for (const auto& a : site) {
+      addrs.push_back(a.addr);
+    }
+    std::sort(addrs.begin(), addrs.end());
+    size_t i = 0;
+    while (i < addrs.size()) {
+      size_t j = i;
+      while (j < addrs.size() && addrs[j] == addrs[i]) {
+        ++j;
+      }
+      stats->atomic_serialized += (j - i) - 1;
+      i = j;
+    }
+  }
+
+  // Divergence: a warp issues in lockstep, so the warp occupies
+  // 32 * max(lane ops) issue slots while only sum(lane ops) do useful work.
+  uint64_t max_ops = 0;
+  uint64_t sum_ops = 0;
+  for (uint64_t ops : lane_ops_) {
+    max_ops = std::max(max_ops, ops);
+    sum_ops += ops;
+  }
+  if (max_ops > 0) {
+    stats->lane_ops_sum += sum_ops;
+    stats->warp_ops_slots += 32 * max_ops;
+  }
+  uint64_t max_mem = 0;
+  for (uint64_t ops : lane_mem_ops_) {
+    max_mem = std::max(max_mem, ops);
+  }
+  stats->max_lane_mem_ops = std::max(stats->max_lane_mem_ops, max_mem);
+}
+
+KernelStats Device::Launch(const LaunchConfig& cfg,
+                           const std::function<void(BlockCtx&)>& kernel) {
+  KernelStats raw;
+  raw.name = cfg.name;
+  raw.grid_dim = cfg.grid_dim;
+  raw.block_dim = cfg.block_dim;
+  raw.total_threads = static_cast<uint64_t>(cfg.grid_dim) * cfg.block_dim;
+  raw.meter_stride = stride_;
+  assert(cfg.block_dim >= 1 &&
+         cfg.block_dim <= static_cast<size_t>(spec_.max_threads_per_block));
+
+  size_t warp_counter = 0;
+  for (size_t b = 0; b < cfg.grid_dim; ++b) {
+    BlockCtx ctx(b, cfg.block_dim, cfg.grid_dim, &spec_, &mem_, &raw,
+                 &warp_counter, stride_);
+    kernel(ctx);
+  }
+
+  // Scale sampled counters back to full-population estimates.
+  if (stride_ > 1) {
+    uint64_t s = static_cast<uint64_t>(stride_);
+    raw.fp32_flops *= s;
+    raw.fp64_flops *= s;
+    raw.read_transactions *= s;
+    raw.write_transactions *= s;
+    raw.dram_read_bytes *= s;
+    raw.dram_write_bytes *= s;
+    raw.l2_read_hit_bytes *= s;
+    raw.l2_write_hit_bytes *= s;
+    raw.l1_read_hit_bytes *= s;
+    raw.l1_write_hit_bytes *= s;
+    raw.requested_read_bytes *= s;
+    raw.requested_write_bytes *= s;
+    raw.shared_bytes *= s;
+    raw.atomic_ops *= s;
+    raw.atomic_serialized *= s;
+    raw.lane_ops_sum *= s;
+    raw.warp_ops_slots *= s;
+  }
+
+  ApplyTimingModel(spec_, &raw);
+  kernel_ms_ += raw.total_ms;
+  history_.push_back(raw);
+  return raw;
+}
+
+KernelStats Device::AddModeledKernel(const std::string& name,
+                                     uint64_t read_bytes,
+                                     uint64_t write_bytes,
+                                     uint64_t fp32_flops) {
+  KernelStats st;
+  st.name = name;
+  st.meter_stride = 1;
+  st.fp32_flops = fp32_flops;
+  uint64_t line = static_cast<uint64_t>(spec_.l2_line_bytes);
+  st.read_transactions = (read_bytes + line - 1) / line;
+  st.write_transactions = (write_bytes + line - 1) / line;
+  // Streaming working sets exceed the caches: charge everything to DRAM.
+  st.dram_read_bytes = read_bytes;
+  st.dram_write_bytes = write_bytes;
+  st.requested_read_bytes = read_bytes;
+  st.requested_write_bytes = write_bytes;
+  st.lane_ops_sum = 1;
+  st.warp_ops_slots = 1;  // coalesced: no divergence
+  ApplyTimingModel(spec_, &st);
+  kernel_ms_ += st.total_ms;
+  history_.push_back(st);
+  return st;
+}
+
+void KernelStats::Accumulate(const KernelStats& o) {
+  fp32_flops += o.fp32_flops;
+  fp64_flops += o.fp64_flops;
+  read_transactions += o.read_transactions;
+  write_transactions += o.write_transactions;
+  dram_read_bytes += o.dram_read_bytes;
+  dram_write_bytes += o.dram_write_bytes;
+  l2_read_hit_bytes += o.l2_read_hit_bytes;
+  l2_write_hit_bytes += o.l2_write_hit_bytes;
+  l1_read_hit_bytes += o.l1_read_hit_bytes;
+  l1_write_hit_bytes += o.l1_write_hit_bytes;
+  requested_read_bytes += o.requested_read_bytes;
+  requested_write_bytes += o.requested_write_bytes;
+  shared_bytes += o.shared_bytes;
+  atomic_ops += o.atomic_ops;
+  atomic_serialized += o.atomic_serialized;
+  lane_ops_sum += o.lane_ops_sum;
+  warp_ops_slots += o.warp_ops_slots;
+  max_lane_mem_ops = std::max(max_lane_mem_ops, o.max_lane_mem_ops);
+  total_threads += o.total_threads;
+  compute_ms += o.compute_ms;
+  memory_ms += o.memory_ms;
+  lsu_ms += o.lsu_ms;
+  atomic_ms += o.atomic_ms;
+  launch_ms += o.launch_ms;
+  total_ms += o.total_ms;
+}
+
+}  // namespace biosim::gpusim

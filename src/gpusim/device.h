@@ -1,0 +1,459 @@
+// SIMT execution simulator: functional GPU kernels with hardware counters.
+//
+// This is the repository's CUDA/OpenCL substitute (see DESIGN.md §1). Device
+// code is written as C++ lambdas against the Lane API below and *actually
+// executes* — outputs are real and tested against the CPU reference. While
+// executing, every global access flows through a per-warp coalescer and a
+// simulated L2 (memory_model.h), FLOPs and divergence are counted per warp,
+// and the analytic model (timing.h) converts the counters into kernel time
+// for the configured DeviceSpec.
+//
+// Execution model: blocks run sequentially (deterministically); within a
+// block, lanes of a warp run the body one after another but are *accounted*
+// as lockstep SIMT — the i-th global access of each lane in a warp forms one
+// memory instruction for coalescing, and per-lane op imbalance is charged as
+// divergence. Barrier semantics use the standard loop-fission translation:
+// one for_each_lane() region is the code between two __syncthreads().
+//
+//   dev.Launch({"my_kernel", blocks, 256}, [&](BlockCtx& blk) {
+//     auto cache = blk.shared<float>(256);                 // __shared__
+//     blk.for_each_lane([&](Lane& t) {                     // phase 1
+//       cache.st(t, t.lane(), t.ld(input, t.gtid()));
+//     });                                                  // __syncthreads()
+//     blk.for_each_lane([&](Lane& t) {                     // phase 2
+//       ...
+//     });
+//   });
+#ifndef BIOSIM_GPUSIM_DEVICE_H_
+#define BIOSIM_GPUSIM_DEVICE_H_
+
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel_stats.h"
+#include "gpusim/memory_model.h"
+#include "gpusim/timing.h"
+
+namespace biosim::gpusim {
+
+class Device;
+class BlockCtx;
+class Lane;
+
+/// Typed device allocation. Storage lives host-side (this is a simulator)
+/// but is addressed through a device-global address space so the cache
+/// simulation sees realistic addresses. Obtain via Device::Alloc.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+  uint64_t addr(size_t i) const { return base_ + i * sizeof(T); }
+
+  /// Direct host access — the simulator equivalent of unified memory; tests
+  /// use it, kernels must go through Lane::ld/st so traffic is metered.
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+  T& operator[](size_t i) { return storage_[i]; }
+  const T& operator[](size_t i) const { return storage_[i]; }
+
+ private:
+  friend class Device;
+  std::vector<T> storage_;
+  uint64_t base_ = 0;
+};
+
+/// Tracks one warp's accounting while its lanes execute.
+class WarpTracker {
+ public:
+  void Reset(bool metered, size_t active_lanes) {
+    metered_ = metered;
+    active_lanes_ = active_lanes;
+    read_sites_.clear();
+    write_sites_.clear();
+    atomic_sites_.clear();
+    std::fill(std::begin(lane_ops_), std::end(lane_ops_), uint64_t{0});
+    std::fill(std::begin(lane_mem_ops_), std::end(lane_mem_ops_),
+              uint64_t{0});
+  }
+
+  bool metered() const { return metered_; }
+
+  void RecordRead(size_t seq, uint64_t addr, uint32_t bytes) {
+    if (read_sites_.size() <= seq) {
+      read_sites_.resize(seq + 1);
+    }
+    read_sites_[seq].push_back({addr, bytes});
+  }
+  void RecordWrite(size_t seq, uint64_t addr, uint32_t bytes) {
+    if (write_sites_.size() <= seq) {
+      write_sites_.resize(seq + 1);
+    }
+    write_sites_[seq].push_back({addr, bytes});
+  }
+  void RecordAtomic(size_t seq, uint64_t addr, uint32_t bytes) {
+    if (atomic_sites_.size() <= seq) {
+      atomic_sites_.resize(seq + 1);
+    }
+    atomic_sites_[seq].push_back({addr, bytes});
+  }
+  void AddLaneOps(size_t warp_lane, uint64_t n) { lane_ops_[warp_lane] += n; }
+  void AddLaneMemOp(size_t warp_lane) { lane_mem_ops_[warp_lane] += 1; }
+
+  /// Push this warp's accounting into the memory model and raw stats.
+  void Flush(MemoryModel* mem, KernelStats* stats);
+
+ private:
+  bool metered_ = false;
+  size_t active_lanes_ = 32;
+  std::vector<std::vector<LaneAccess>> read_sites_;
+  std::vector<std::vector<LaneAccess>> write_sites_;
+  std::vector<std::vector<LaneAccess>> atomic_sites_;
+  uint64_t lane_ops_[32] = {};
+  uint64_t lane_mem_ops_[32] = {};
+};
+
+/// Shared-memory array handle (per block). Addresses live in a per-block
+/// "shared" address space used only for atomic-conflict detection.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  SharedArray(T* data, size_t n, uint64_t base)
+      : data_(data), n_(n), base_(base) {}
+  size_t size() const { return n_; }
+  uint64_t addr(size_t i) const { return base_ + i * sizeof(T); }
+  T* raw() { return data_; }
+
+ private:
+  friend class Lane;
+  T* data_ = nullptr;
+  size_t n_ = 0;
+  uint64_t base_ = 0;
+};
+
+/// The view device code gets of one thread (CUDA thread / OpenCL work-item).
+class Lane {
+ public:
+  size_t lane() const { return lane_; }            // threadIdx.x
+  size_t block() const { return block_; }          // blockIdx.x
+  size_t block_dim() const { return block_dim_; }  // blockDim.x
+  size_t grid_dim() const { return grid_dim_; }    // gridDim.x
+  size_t gtid() const { return block_ * block_dim_ + lane_; }
+
+  /// Account `n` floating-point operations (single precision).
+  void flops32(uint64_t n) { Ops(n, &fp32_); }
+  /// Account `n` floating-point operations (double precision).
+  void flops64(uint64_t n) { Ops(n, &fp64_); }
+
+  /// Metered global load.
+  template <typename T>
+  T ld(const DeviceBuffer<T>& b, size_t i) {
+    assert(i < b.size());
+    if (wt_->metered()) {
+      wt_->RecordRead(read_seq_, b.addr(i), sizeof(T));
+      wt_->AddLaneOps(lane_ & 31, 1);
+      wt_->AddLaneMemOp(lane_ & 31);
+    }
+    ++read_seq_;
+    return b.data()[i];
+  }
+
+  /// Metered global store.
+  template <typename T>
+  void st(DeviceBuffer<T>& b, size_t i, T v) {
+    assert(i < b.size());
+    if (wt_->metered()) {
+      wt_->RecordWrite(write_seq_, b.addr(i), sizeof(T));
+      wt_->AddLaneOps(lane_ & 31, 1);
+      wt_->AddLaneMemOp(lane_ & 31);
+    }
+    ++write_seq_;
+    b.data()[i] = v;
+  }
+
+  /// Global atomic add; returns the old value.
+  template <typename T>
+  T atomic_add(DeviceBuffer<T>& b, size_t i, T v) {
+    T old = b.data()[i];
+    b.data()[i] = old + v;
+    RecordAtomicSite(b.addr(i), sizeof(T));
+    return old;
+  }
+
+  /// Global atomic exchange; returns the old value. (The uniform-grid build
+  /// kernel's linked-list push is exactly this, Section IV-A.)
+  template <typename T>
+  T atomic_exch(DeviceBuffer<T>& b, size_t i, T v) {
+    T old = b.data()[i];
+    b.data()[i] = v;
+    RecordAtomicSite(b.addr(i), sizeof(T));
+    return old;
+  }
+
+  /// Shared-memory load/store: on-chip, so only bytes are charged (no L2 /
+  /// DRAM involvement).
+  template <typename T>
+  T shared_ld(const SharedArray<T>& s, size_t i) {
+    assert(i < s.size());
+    SharedTraffic(sizeof(T));
+    return s.data_[i];
+  }
+  template <typename T>
+  void shared_st(SharedArray<T>& s, size_t i, T v) {
+    assert(i < s.size());
+    SharedTraffic(sizeof(T));
+    s.data_[i] = v;
+  }
+
+  /// Shared-memory atomic add (the Improvement III append counter). Returns
+  /// the old value; warp-internal address conflicts serialize.
+  template <typename T>
+  T atomic_add_shared(SharedArray<T>& s, size_t i, T v) {
+    T old = s.data_[i];
+    s.data_[i] = old + v;
+    RecordAtomicSite(s.addr(i), sizeof(T));
+    return old;
+  }
+
+ private:
+  friend class BlockCtx;
+  Lane(size_t lane, size_t block, size_t block_dim, size_t grid_dim,
+       WarpTracker* wt, KernelStats* raw)
+      : lane_(lane),
+        block_(block),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        wt_(wt),
+        raw_(raw) {}
+
+  void Ops(uint64_t n, uint64_t* counter) {
+    if (wt_->metered()) {
+      *counter += n;
+      wt_->AddLaneOps(lane_ & 31, n);
+    }
+  }
+
+  void RecordAtomicSite(uint64_t addr, uint32_t bytes) {
+    if (wt_->metered()) {
+      wt_->RecordAtomic(atomic_seq_, addr, bytes);
+      wt_->AddLaneOps(lane_ & 31, 1);
+    }
+    ++atomic_seq_;
+  }
+
+  void SharedTraffic(uint32_t bytes) {
+    if (wt_->metered()) {
+      raw_->shared_bytes += bytes;
+      wt_->AddLaneOps(lane_ & 31, 1);
+    }
+  }
+
+  size_t lane_, block_, block_dim_, grid_dim_;
+  WarpTracker* wt_;
+  KernelStats* raw_;
+  size_t read_seq_ = 0;
+  size_t write_seq_ = 0;
+  size_t atomic_seq_ = 0;
+  uint64_t fp32_ = 0;
+  uint64_t fp64_ = 0;
+
+  void CommitFlops() {
+    raw_->fp32_flops += fp32_;
+    raw_->fp64_flops += fp64_;
+  }
+};
+
+/// The view device code gets of one thread block (CUDA block / OpenCL
+/// workgroup).
+class BlockCtx {
+ public:
+  size_t block() const { return block_; }
+  size_t block_dim() const { return block_dim_; }
+  size_t grid_dim() const { return grid_dim_; }
+
+  /// Allocate a __shared__ array (zero-initialized, like static shared
+  /// memory). Asserts the per-block shared limit.
+  template <typename T>
+  SharedArray<T> shared(size_t n) {
+    size_t bytes = n * sizeof(T);
+    assert(shared_used_ + bytes <= spec_->shared_mem_per_block &&
+           "exceeds shared memory per block");
+    arena_.push_back(std::make_unique<char[]>(bytes));
+    std::memset(arena_.back().get(), 0, bytes);
+    auto* p = reinterpret_cast<T*>(arena_.back().get());
+    SharedArray<T> s(p, n, kSharedBase + shared_used_);
+    shared_used_ += bytes;
+    return s;
+  }
+
+  /// Run `body(Lane&)` for every thread of the block; the end of the call is
+  /// a block-wide barrier (__syncthreads()).
+  template <typename F>
+  void for_each_lane(F&& body) {
+    for (size_t w0 = 0; w0 < block_dim_; w0 += 32) {
+      size_t lanes = std::min<size_t>(32, block_dim_ - w0);
+      bool metered = (warp_counter_++ % static_cast<size_t>(stride_)) == 0;
+      wt_.Reset(metered, lanes);
+      for (size_t l = 0; l < lanes; ++l) {
+        Lane t(w0 + l, block_, block_dim_, grid_dim_, &wt_, raw_);
+        body(t);
+        t.CommitFlops();
+      }
+      wt_.Flush(mem_, raw_);
+    }
+  }
+
+ private:
+  friend class Device;
+  static constexpr uint64_t kSharedBase = 1ull << 62;  // disjoint from global
+
+  BlockCtx(size_t block, size_t block_dim, size_t grid_dim,
+           const DeviceSpec* spec, MemoryModel* mem, KernelStats* raw,
+           size_t* warp_counter, int stride)
+      : block_(block),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        spec_(spec),
+        mem_(mem),
+        raw_(raw),
+        warp_counter_(*warp_counter),
+        stride_(stride),
+        warp_counter_ref_(warp_counter) {}
+
+  ~BlockCtx() { *warp_counter_ref_ = warp_counter_; }
+
+  size_t block_, block_dim_, grid_dim_;
+  const DeviceSpec* spec_;
+  MemoryModel* mem_;
+  KernelStats* raw_;
+  size_t warp_counter_;
+  int stride_;
+  size_t* warp_counter_ref_;
+  WarpTracker wt_;
+  size_t shared_used_ = 0;
+  std::vector<std::unique_ptr<char[]>> arena_;
+};
+
+struct LaunchConfig {
+  std::string name;
+  size_t grid_dim = 1;   // blocks
+  size_t block_dim = 1;  // threads per block
+};
+
+/// A simulated GPU. Owns the address space, the memory model, the simulated
+/// clock, and the per-kernel profile.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec)
+      : spec_(std::move(spec)), mem_(SampledSpec(spec_, 1)) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// Warp-sampling stride: 1 = meter every warp (exact), k = meter every
+  /// k-th warp and scale (the L2 capacity seen by the sampled stream is
+  /// scaled down by k so hit rates stay representative). Call before any
+  /// Launch.
+  void SetMeterStride(int stride) {
+    assert(stride >= 1);
+    stride_ = stride;
+    mem_ = MemoryModel(SampledSpec(spec_, stride));
+  }
+  int meter_stride() const { return stride_; }
+
+  /// Allocate a device buffer of `n` elements.
+  template <typename T>
+  DeviceBuffer<T> Alloc(size_t n) {
+    DeviceBuffer<T> b;
+    b.storage_.resize(n);
+    b.base_ = next_addr_;
+    size_t bytes = (n * sizeof(T) + 255) / 256 * 256;
+    next_addr_ += bytes;
+    allocated_bytes_ += bytes;
+    assert(allocated_bytes_ <= spec_.dram_bytes && "device out of memory");
+    return b;
+  }
+
+  /// Host -> device copy (metered: PCIe time on the simulated clock).
+  template <typename T>
+  void CopyToDevice(DeviceBuffer<T>& dst, std::span<const T> src) {
+    assert(src.size() <= dst.size());
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
+    uint64_t bytes = src.size() * sizeof(T);
+    transfers_.h2d_bytes += bytes;
+    transfers_.h2d_count += 1;
+    transfers_.h2d_ms += TransferMs(spec_, bytes);
+  }
+
+  /// Device -> host copy (metered).
+  template <typename T>
+  void CopyFromDevice(std::span<T> dst, const DeviceBuffer<T>& src) {
+    assert(dst.size() <= src.size());
+    std::memcpy(dst.data(), src.data(), dst.size() * sizeof(T));
+    uint64_t bytes = dst.size() * sizeof(T);
+    transfers_.d2h_bytes += bytes;
+    transfers_.d2h_count += 1;
+    transfers_.d2h_ms += TransferMs(spec_, bytes);
+  }
+
+  /// Execute a kernel and return its stats (also appended to the profile
+  /// and the simulated clock).
+  KernelStats Launch(const LaunchConfig& cfg,
+                     const std::function<void(BlockCtx&)>& kernel);
+
+  /// Account a library kernel (e.g. a vendor sort) by its streaming traffic
+  /// without executing it through the SIMT engine: `read_bytes` and
+  /// `write_bytes` are assumed perfectly coalesced. Advances the simulated
+  /// clock and appears in the profile like any launch.
+  KernelStats AddModeledKernel(const std::string& name, uint64_t read_bytes,
+                               uint64_t write_bytes, uint64_t fp32_flops = 0);
+
+  /// Drop cache state between independent experiments.
+  void ResetCache() { mem_.ResetCache(); }
+
+  /// Simulated elapsed GPU time: kernels + transfers.
+  double ElapsedMs() const { return kernel_ms_ + transfers_.TotalMs(); }
+  double KernelMs() const { return kernel_ms_; }
+  const TransferStats& transfers() const { return transfers_; }
+  void ResetClock() {
+    kernel_ms_ = 0.0;
+    transfers_ = {};
+    history_.clear();
+  }
+
+  /// Per-launch history (the nvprof substitute reads this).
+  const std::vector<KernelStats>& history() const { return history_; }
+
+ private:
+  static DeviceSpec SampledSpec(const DeviceSpec& spec, int stride) {
+    DeviceSpec s = spec;
+    s.l2_capacity_bytes =
+        std::max<size_t>(spec.l2_capacity_bytes / static_cast<size_t>(stride),
+                         static_cast<size_t>(spec.l2_line_bytes) * 64);
+    s.l1_capacity_bytes =
+        std::max<size_t>(spec.l1_capacity_bytes / static_cast<size_t>(stride),
+                         static_cast<size_t>(spec.l2_line_bytes) * 16);
+    return s;
+  }
+
+  DeviceSpec spec_;
+  MemoryModel mem_;
+  int stride_ = 1;
+  uint64_t next_addr_ = 1ull << 20;
+  uint64_t allocated_bytes_ = 0;
+  TransferStats transfers_;
+  double kernel_ms_ = 0.0;
+  std::vector<KernelStats> history_;
+};
+
+}  // namespace biosim::gpusim
+
+#endif  // BIOSIM_GPUSIM_DEVICE_H_

@@ -1,0 +1,117 @@
+// GPU device descriptions for the execution simulator.
+//
+// The two presets are the cards of the paper's Table I. The headline numbers
+// (FP32/FP64 peak, memory bandwidth, DRAM size) are copied from that table;
+// microarchitectural constants (SM count, L2 geometry, latencies) come from
+// the public specifications of the respective chips. The timing model in
+// timing.h consumes only what is listed here — there are no per-benchmark
+// fudge factors.
+#ifndef BIOSIM_GPUSIM_DEVICE_SPEC_H_
+#define BIOSIM_GPUSIM_DEVICE_SPEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace biosim::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // --- execution ---------------------------------------------------------
+  int num_sms = 28;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  /// Peak arithmetic throughput (GFLOP/s).
+  double fp32_gflops = 11340.0;
+  double fp64_gflops = 354.0;
+
+  // --- memory hierarchy ---------------------------------------------------
+  /// Device DRAM (GDDR/HBM) size and bandwidth.
+  size_t dram_bytes = 11ull << 30;
+  double dram_bandwidth_gbps = 484.0;
+  /// Modeled L2 bandwidth; NVIDIA L2s deliver roughly 3-5x DRAM bandwidth.
+  double l2_bandwidth_gbps = 1900.0;
+  size_t l2_capacity_bytes = 2816ull * 1024;  // 2.75 MiB on GP102
+  int l2_line_bytes = 128;
+  int l2_associativity = 16;
+  /// Per-SM L1/texture cache. Blocks execute sequentially in the simulator,
+  /// which approximates one SM's view of its own block stream, so a single
+  /// L1 of per-SM size sits in front of the shared L2.
+  size_t l1_capacity_bytes = 48ull * 1024;
+  int l1_associativity = 4;
+  /// Aggregate L1 bandwidth (all SMs): ~128 B/cycle/SM.
+  double l1_bandwidth_gbps = 5400.0;
+  /// Shared memory (per block limit and modeled aggregate bandwidth).
+  size_t shared_mem_per_block = 48ull * 1024;
+  double shared_bandwidth_gbps = 8000.0;
+
+  // --- overheads -----------------------------------------------------------
+  /// Fixed cost per kernel launch (µs); covers driver + dispatch.
+  double launch_overhead_us = 5.0;
+  /// Global-memory latency (ns) and the memory-level parallelism one
+  /// thread sustains (outstanding loads). Together with the resident-thread
+  /// limit these bound how well long dependent-load chains (linked-list
+  /// walks!) can be hidden: t_latency = ceil(threads/resident) *
+  /// (per-thread memory ops / mlp) * latency. This is the term the paper's
+  /// "serial loop over the neighborhood" stresses and dynamic parallelism
+  /// relieves.
+  double mem_latency_ns = 350.0;
+  double mem_level_parallelism = 4.0;
+  int max_threads_per_sm = 2048;
+
+  /// LSU occupancy per global-memory transaction (ns): each 128 B
+  /// transaction occupies an SM's load/store pipeline for a few cycles
+  /// (issue + replay), regardless of whether the data comes from L1, L2 or
+  /// DRAM. ~2.5 cycles at ~1.5 GHz. This is what makes scattered,
+  /// many-transaction kernels slower than their byte counts alone suggest.
+  double lsu_transaction_ns = 1.6;
+  /// Cost of one *serialized* atomic update (ns). Conflicting atomics from
+  /// the lanes of a warp are serialized by the hardware (shared-memory
+  /// atomics replay on the SM LSU, a few cycles per conflicting lane);
+  /// non-conflicting ones proceed at full rate and are charged as ordinary
+  /// memory traffic.
+  double atomic_serialize_ns = 5.0;
+  /// How many serialized-atomic chains the chip can work on concurrently:
+  /// one per SM (each SM serializes its own replays).
+  int atomic_parallelism() const { return num_sms; }
+
+  // --- host link ------------------------------------------------------------
+  /// PCIe 3.0 x16 effective bandwidth and per-transfer latency.
+  double pcie_bandwidth_gbps = 12.0;
+  double pcie_latency_us = 10.0;
+
+  /// Consumer Pascal card of the paper's system A.
+  static DeviceSpec GTX1080Ti() {
+    DeviceSpec s;
+    s.name = "NVIDIA GTX 1080 Ti";
+    s.num_sms = 28;
+    s.fp32_gflops = 11340.0;  // Table I: 11.34 TFLOPS
+    s.fp64_gflops = 354.0;    // Table I: 0.354 TFLOPS (1/32 rate)
+    s.dram_bytes = 11ull << 30;
+    s.dram_bandwidth_gbps = 484.0;  // Table I
+    s.l2_bandwidth_gbps = 1900.0;
+    s.l2_capacity_bytes = 2816ull * 1024;
+    return s;
+  }
+
+  /// Datacenter Volta card of the paper's system B.
+  static DeviceSpec TeslaV100() {
+    DeviceSpec s;
+    s.name = "NVIDIA Tesla V100";
+    s.num_sms = 80;
+    s.fp32_gflops = 15700.0;  // Table I: 15.7 TFLOPS
+    s.fp64_gflops = 7800.0;   // Table I: 7.8 TFLOPS (1/2 rate)
+    s.dram_bytes = 32ull << 30;
+    s.dram_bandwidth_gbps = 900.0;  // Table I: HBM2
+    s.l2_bandwidth_gbps = 3200.0;
+    s.l2_capacity_bytes = 6ull * 1024 * 1024;
+    s.l1_capacity_bytes = 128ull * 1024;  // Volta unified L1
+    s.l1_bandwidth_gbps = 14000.0;
+    return s;
+  }
+};
+
+}  // namespace biosim::gpusim
+
+#endif  // BIOSIM_GPUSIM_DEVICE_SPEC_H_

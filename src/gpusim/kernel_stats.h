@@ -1,0 +1,120 @@
+// Per-kernel hardware counters and the derived timing breakdown.
+//
+// These are the quantities nvprof reports for a real kernel and everything
+// the timing model needs: work (FLOPs by precision), traffic (DRAM / L2 /
+// shared bytes and transactions), contention (atomic serialization), and
+// control efficiency (SIMD lane utilization).
+#ifndef BIOSIM_GPUSIM_KERNEL_STATS_H_
+#define BIOSIM_GPUSIM_KERNEL_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace biosim::gpusim {
+
+struct KernelStats {
+  std::string name;
+  size_t grid_dim = 0;
+  size_t block_dim = 0;
+
+  // --- work ---------------------------------------------------------------
+  uint64_t fp32_flops = 0;
+  uint64_t fp64_flops = 0;
+
+  // --- global memory traffic (post-coalescing, line granularity) ----------
+  uint64_t read_transactions = 0;
+  uint64_t write_transactions = 0;
+  uint64_t dram_read_bytes = 0;   // L2 read misses
+  uint64_t dram_write_bytes = 0;  // L2 write misses
+  uint64_t l2_read_hit_bytes = 0;
+  uint64_t l2_write_hit_bytes = 0;
+  uint64_t l1_read_hit_bytes = 0;
+  uint64_t l1_write_hit_bytes = 0;
+  /// Bytes the lanes actually requested (pre-coalescing); the ratio
+  /// requested/transferred measures coalescing quality.
+  uint64_t requested_read_bytes = 0;
+  uint64_t requested_write_bytes = 0;
+
+  // --- on-chip traffic -----------------------------------------------------
+  uint64_t shared_bytes = 0;
+
+  // --- atomics -------------------------------------------------------------
+  uint64_t atomic_ops = 0;
+  /// Extra serialized steps caused by address conflicts inside warps: a warp
+  /// whose k active lanes update the same address contributes k-1.
+  uint64_t atomic_serialized = 0;
+
+  // --- control flow ----------------------------------------------------------
+  /// Sum over lanes of issued ops, and 32 * max-lane-ops summed over warps;
+  /// their ratio is the SIMD efficiency (1.0 = no divergence, no idle lanes).
+  uint64_t lane_ops_sum = 0;
+  uint64_t warp_ops_slots = 0;
+
+  /// Longest per-lane chain of global memory operations observed in any
+  /// warp — a proxy for the deepest dependent-load chain (the latency-bound
+  /// term's input). Not scaled by sampling (it is a maximum).
+  uint64_t max_lane_mem_ops = 0;
+  /// Total launched threads (grid_dim * block_dim), for the wave count.
+  uint64_t total_threads = 0;
+
+  /// Warp-sampling stride the counters were collected with; counters above
+  /// are already scaled back to full-population estimates.
+  int meter_stride = 1;
+
+  // --- derived timing (filled by the timing model) ----------------------
+  double compute_ms = 0.0;
+  double memory_ms = 0.0;
+  double lsu_ms = 0.0;
+  double latency_ms = 0.0;
+  double atomic_ms = 0.0;
+  double launch_ms = 0.0;
+  double total_ms = 0.0;
+
+  // --- derived metrics ---------------------------------------------------
+  double SimdEfficiency() const {
+    return warp_ops_slots == 0
+               ? 1.0
+               : static_cast<double>(lane_ops_sum) /
+                     static_cast<double>(warp_ops_slots);
+  }
+  uint64_t TotalFlops() const { return fp32_flops + fp64_flops; }
+  uint64_t DramBytes() const { return dram_read_bytes + dram_write_bytes; }
+  uint64_t L2HitBytes() const { return l2_read_hit_bytes + l2_write_hit_bytes; }
+  uint64_t L1HitBytes() const { return l1_read_hit_bytes + l1_write_hit_bytes; }
+  /// The paper's Fig. 12 metric: L2 reads relative to total (L2 + HBM) reads.
+  double L2ReadHitFraction() const {
+    uint64_t total = l2_read_hit_bytes + dram_read_bytes;
+    return total == 0 ? 0.0
+                      : static_cast<double>(l2_read_hit_bytes) /
+                            static_cast<double>(total);
+  }
+  /// FLOPs per byte of DRAM traffic (roofline x-axis).
+  double ArithmeticIntensity() const {
+    uint64_t b = DramBytes();
+    return b == 0 ? 0.0
+                  : static_cast<double>(TotalFlops()) / static_cast<double>(b);
+  }
+  /// Achieved GFLOP/s (roofline y-axis).
+  double AchievedGflops() const {
+    return total_ms <= 0.0 ? 0.0
+                           : static_cast<double>(TotalFlops()) / (total_ms * 1e6);
+  }
+
+  /// Merge counters of another launch of the same kernel.
+  void Accumulate(const KernelStats& o);
+};
+
+/// Host<->device transfer accounting.
+struct TransferStats {
+  uint64_t h2d_bytes = 0;
+  uint64_t d2h_bytes = 0;
+  uint64_t h2d_count = 0;
+  uint64_t d2h_count = 0;
+  double h2d_ms = 0.0;
+  double d2h_ms = 0.0;
+  double TotalMs() const { return h2d_ms + d2h_ms; }
+};
+
+}  // namespace biosim::gpusim
+
+#endif  // BIOSIM_GPUSIM_KERNEL_STATS_H_

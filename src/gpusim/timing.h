@@ -1,0 +1,90 @@
+// Analytic timing model: hardware counters -> milliseconds.
+//
+// A GPU kernel with enough parallelism to hide latency is limited by
+// whichever pipe saturates first, so
+//
+//   t_total = t_launch + max(t_compute, t_memory, t_lsu) + t_atomic
+//
+//   t_compute = fp32/peak32 + fp64/peak64, divided by the SIMD efficiency
+//               (divergent or idle lanes burn issue slots without output)
+//   t_memory  = dram/dram_bw + l2_hits/l2_bw + l1_hits/l1_bw + sh/sh_bw
+//   t_lsu     = transactions * per-transaction LSU occupancy / num SMs
+//   t_latency = waves * (deepest per-thread load chain / MLP) * latency
+//               (linked-list walks cannot be hidden once every resident
+//                warp is itself stuck on a dependent load)
+//   t_atomic  = serialized conflicts * atomic cost / atomic parallelism
+//
+// All parameters come from DeviceSpec (Table I plus public chip specs); no
+// experiment-specific constants. Absolute numbers are approximations; the
+// ratios between kernel variants — which is what the paper's figures are
+// about — are driven by the measured counters.
+#ifndef BIOSIM_GPUSIM_TIMING_H_
+#define BIOSIM_GPUSIM_TIMING_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel_stats.h"
+
+namespace biosim::gpusim {
+
+/// Fill the timing fields of `stats` from its counters.
+inline void ApplyTimingModel(const DeviceSpec& spec, KernelStats* stats) {
+  double eff = std::max(stats->SimdEfficiency(), 0.01);
+
+  double compute_s =
+      (static_cast<double>(stats->fp32_flops) / (spec.fp32_gflops * 1e9) +
+       static_cast<double>(stats->fp64_flops) / (spec.fp64_gflops * 1e9)) /
+      eff;
+
+  double memory_s =
+      static_cast<double>(stats->DramBytes()) / (spec.dram_bandwidth_gbps * 1e9) +
+      static_cast<double>(stats->L2HitBytes()) / (spec.l2_bandwidth_gbps * 1e9) +
+      static_cast<double>(stats->L1HitBytes()) / (spec.l1_bandwidth_gbps * 1e9) +
+      static_cast<double>(stats->shared_bytes) / (spec.shared_bandwidth_gbps * 1e9);
+
+  // Not scaled by SIMD efficiency: a warp's memory instruction issues once
+  // regardless of how many lanes are active, and divergence-induced replays
+  // are already visible as extra transactions.
+  double lsu_s = static_cast<double>(stats->read_transactions +
+                                     stats->write_transactions) *
+                 (spec.lsu_transaction_ns * 1e-9) /
+                 static_cast<double>(spec.num_sms);
+
+  double resident = static_cast<double>(spec.num_sms) *
+                    static_cast<double>(spec.max_threads_per_sm);
+  double waves =
+      stats->total_threads == 0
+          ? 1.0
+          : std::ceil(static_cast<double>(stats->total_threads) / resident);
+  double latency_s = waves *
+                     (static_cast<double>(stats->max_lane_mem_ops) /
+                      spec.mem_level_parallelism) *
+                     (spec.mem_latency_ns * 1e-9);
+
+  double atomic_s = static_cast<double>(stats->atomic_serialized) *
+                    (spec.atomic_serialize_ns * 1e-9) /
+                    static_cast<double>(spec.atomic_parallelism());
+
+  stats->compute_ms = compute_s * 1e3;
+  stats->memory_ms = memory_s * 1e3;
+  stats->lsu_ms = lsu_s * 1e3;
+  stats->latency_ms = latency_s * 1e3;
+  stats->atomic_ms = atomic_s * 1e3;
+  stats->launch_ms = spec.launch_overhead_us * 1e-3;
+  stats->total_ms = stats->launch_ms +
+                    std::max({stats->compute_ms, stats->memory_ms,
+                              stats->lsu_ms, stats->latency_ms}) +
+                    stats->atomic_ms;
+}
+
+/// Host<->device transfer time for `bytes` over PCIe.
+inline double TransferMs(const DeviceSpec& spec, uint64_t bytes) {
+  return spec.pcie_latency_us * 1e-3 +
+         static_cast<double>(bytes) / (spec.pcie_bandwidth_gbps * 1e9) * 1e3;
+}
+
+}  // namespace biosim::gpusim
+
+#endif  // BIOSIM_GPUSIM_TIMING_H_

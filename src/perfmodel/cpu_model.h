@@ -1,0 +1,133 @@
+// Multithreaded-scaling model: project t(threads) from a measured serial
+// time on a described machine.
+//
+// This substitutes for the paper's 20-core / 32-core dual-socket Xeons (see
+// DESIGN.md §1): the *algorithms* run for real and their serial time is
+// measured; this model answers "what would N threads on system A/B do with
+// it", using the three effects that dominate OpenMP scaling of memory-heavy
+// agent loops:
+//
+//   1. Amdahl: a serial fraction (e.g. the kd-tree build) does not scale.
+//   2. Bandwidth saturation: the memory-bound share of the parallel work
+//      scales only until the socket's DRAM bandwidth is saturated.
+//   3. Topology: SMT siblings add ~25% of a core each, and spilling onto
+//      the second socket adds a NUMA penalty to memory traffic (the paper
+//      pins with `taskset` to avoid exactly this).
+#ifndef BIOSIM_PERFMODEL_CPU_MODEL_H_
+#define BIOSIM_PERFMODEL_CPU_MODEL_H_
+
+#include <algorithm>
+#include <string>
+
+#include "perfmodel/cpu_spec.h"
+
+namespace biosim::perfmodel {
+
+/// How a workload responds to threads; presets below are derived from the
+/// structure of the code, not fitted per figure.
+struct WorkloadCharacter {
+  /// Fraction of the serial runtime that parallelizes at all.
+  double parallel_fraction = 0.95;
+  /// Of the parallel part, the fraction limited by DRAM bandwidth rather
+  /// than by the core pipeline.
+  double bandwidth_bound_fraction = 0.55;
+  /// DRAM bandwidth a single thread of this workload can draw (GB/s).
+  double single_thread_bw_gbps = 6.0;
+  /// Memory-time multiplier when threads span two sockets without pinning.
+  double numa_penalty = 1.25;
+  /// SMT sibling contribution relative to a full core.
+  double smt_yield = 0.25;
+
+  /// The baseline mechanical operation: per-agent loops parallelize, but the
+  /// kd-tree is rebuilt serially every step (Section VI attributes the
+  /// multithreaded gap to exactly this).
+  static WorkloadCharacter KdTreeMechanics() {
+    return {.parallel_fraction = 0.85,
+            .bandwidth_bound_fraction = 0.55,
+            .single_thread_bw_gbps = 6.0,
+            .numa_penalty = 1.25,
+            .smt_yield = 0.25};
+  }
+
+  /// The uniform-grid operation: the grid build is also parallel (atomic
+  /// linked-list push); only the bounds pass and box-array reset remain
+  /// serial-ish. The neighbor loops are strongly bandwidth-bound.
+  static WorkloadCharacter UniformGridMechanics() {
+    return {.parallel_fraction = 0.95,
+            .bandwidth_bound_fraction = 0.65,
+            .single_thread_bw_gbps = 6.0,
+            .numa_penalty = 1.25,
+            .smt_yield = 0.25};
+  }
+
+  /// Host-side Z-order sort (comparison sort: compute-heavy, tiny serial
+  /// merge residue).
+  static WorkloadCharacter ParallelSort() {
+    return {.parallel_fraction = 0.95,
+            .bandwidth_bound_fraction = 0.30,
+            .single_thread_bw_gbps = 4.0,
+            .numa_penalty = 1.15,
+            .smt_yield = 0.25};
+  }
+};
+
+class CpuScalingModel {
+ public:
+  CpuScalingModel(CpuSpec spec, WorkloadCharacter w)
+      : spec_(std::move(spec)), w_(w) {}
+
+  const CpuSpec& spec() const { return spec_; }
+
+  /// Effective core-equivalents delivered by `threads` threads
+  /// (`single_socket` mirrors the paper's taskset pinning).
+  double EffectiveParallelism(int threads, bool single_socket) const {
+    int cores = single_socket ? spec_.cores_per_socket : spec_.total_cores();
+    int hw_threads = cores * spec_.smt_per_core;
+    threads = std::min(threads, hw_threads);
+    int phys = std::min(threads, cores);
+    int smt = std::max(0, threads - cores);
+    return static_cast<double>(phys) + w_.smt_yield * static_cast<double>(smt);
+  }
+
+  /// Max useful parallelism for the bandwidth-bound share.
+  double BandwidthCeiling(bool single_socket) const {
+    double bw = spec_.mem_bandwidth_per_socket_gbps *
+                (single_socket ? 1.0 : static_cast<double>(spec_.sockets));
+    return bw / w_.single_thread_bw_gbps;
+  }
+
+  /// Projected runtime of `threads` threads given a measured serial runtime.
+  /// `single_socket` pins all threads to one NUMA domain (taskset).
+  double ProjectMs(double serial_ms, int threads,
+                   bool single_socket = false) const {
+    if (threads <= 1) {
+      return serial_ms;
+    }
+    double eff = EffectiveParallelism(threads, single_socket);
+    double serial_part = serial_ms * (1.0 - w_.parallel_fraction);
+    double par = serial_ms * w_.parallel_fraction;
+
+    double compute_part = par * (1.0 - w_.bandwidth_bound_fraction) / eff;
+
+    double mem_eff = std::min(eff, BandwidthCeiling(single_socket));
+    bool spans_two_sockets =
+        !single_socket && threads > spec_.cores_per_socket * spec_.smt_per_core;
+    double numa = spans_two_sockets ? w_.numa_penalty : 1.0;
+    double mem_part = par * w_.bandwidth_bound_fraction * numa / mem_eff;
+
+    return serial_part + compute_part + mem_part;
+  }
+
+  /// Projected speedup over serial.
+  double ProjectSpeedup(int threads, bool single_socket = false) const {
+    return 1.0 / ProjectMs(1.0, threads, single_socket);
+  }
+
+ private:
+  CpuSpec spec_;
+  WorkloadCharacter w_;
+};
+
+}  // namespace biosim::perfmodel
+
+#endif  // BIOSIM_PERFMODEL_CPU_MODEL_H_

@@ -1,0 +1,51 @@
+// CPU descriptions of the paper's benchmark systems (Table I).
+//
+// Core counts and socket topology come straight from Table I; per-socket
+// memory bandwidth comes from the public specs of the respective Xeons
+// (4-channel DDR4-2133 for the E5-2640 v4, 6-channel DDR4-2666 for the
+// Gold 6130).
+#ifndef BIOSIM_PERFMODEL_CPU_SPEC_H_
+#define BIOSIM_PERFMODEL_CPU_SPEC_H_
+
+#include <string>
+
+namespace biosim::perfmodel {
+
+struct CpuSpec {
+  std::string name;
+  int sockets = 2;
+  int cores_per_socket = 10;
+  int smt_per_core = 2;
+  double base_ghz = 2.4;
+  /// Peak DRAM bandwidth per socket (GB/s).
+  double mem_bandwidth_per_socket_gbps = 68.3;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int total_threads() const { return total_cores() * smt_per_core; }
+
+  /// System A host: 2x Intel Xeon E5-2640 v4 (Table I: 20 cores, 40 threads).
+  static CpuSpec XeonE5_2640v4_x2() {
+    CpuSpec s;
+    s.name = "2x Intel Xeon E5-2640 v4";
+    s.sockets = 2;
+    s.cores_per_socket = 10;
+    s.base_ghz = 2.4;
+    s.mem_bandwidth_per_socket_gbps = 68.3;  // 4ch DDR4-2133
+    return s;
+  }
+
+  /// System B host: 2x Intel Xeon Gold 6130 (Table I: 32 cores, 64 threads).
+  static CpuSpec XeonGold6130_x2() {
+    CpuSpec s;
+    s.name = "2x Intel Xeon Gold 6130";
+    s.sockets = 2;
+    s.cores_per_socket = 16;
+    s.base_ghz = 2.1;
+    s.mem_bandwidth_per_socket_gbps = 128.0;  // 6ch DDR4-2666
+    return s;
+  }
+};
+
+}  // namespace biosim::perfmodel
+
+#endif  // BIOSIM_PERFMODEL_CPU_SPEC_H_

@@ -1,0 +1,60 @@
+// Pluggable contact-force laws.
+//
+// The paper (and the GPU kernels, which reproduce it) uses the Cortex3D law
+// of Eq. (1). Tissue-mechanics practice also uses Hertzian contact
+// (F ~ E* sqrt(R_eff) delta^{3/2}, cf. Van Liedekerke et al., the paper's
+// ref. [12]); the CPU operation accepts either so models can compare. The
+// GPU kernels intentionally implement only the paper's law.
+#ifndef BIOSIM_PHYSICS_FORCE_LAW_H_
+#define BIOSIM_PHYSICS_FORCE_LAW_H_
+
+#include <cstdint>
+
+#include "physics/interaction_force.h"
+
+namespace biosim {
+
+enum class ForceLaw : uint8_t {
+  kCortex3D,  // Eq. (1): kappa*delta - gamma*sqrt(r*delta)
+  kHertz,     // elastic contact: E * sqrt(r) * delta^{3/2}
+};
+
+/// Hertzian sphere-sphere contact force on the sphere at `p1`:
+///   F = elastic_modulus * sqrt(r_eff) * delta^{3/2}
+/// with r_eff = r1*r2/(r1+r2). Purely repulsive (no adhesion term); zero
+/// beyond contact. `fp.repulsion` plays the role of the effective elastic
+/// modulus; `fp.attraction` is unused.
+template <typename T>
+Real3<T> HertzForce(const Real3<T>& p1, T r1, const Real3<T>& p2, T r2,
+                    const ForceParams<T>& fp) {
+  Real3<T> d = p1 - p2;
+  T dist2 = d.SquaredNorm();
+  if (dist2 <= T{0}) {
+    return {};
+  }
+  T dist = std::sqrt(dist2);
+  T delta = r1 + r2 - dist;
+  if (delta <= T{0}) {
+    return {};
+  }
+  T reduced = (r1 * r2) / (r1 + r2);
+  T magnitude = fp.repulsion * std::sqrt(reduced) * delta * std::sqrt(delta);
+  return d * (magnitude / dist);
+}
+
+/// Evaluate the selected law.
+template <typename T>
+Real3<T> EvaluateForce(ForceLaw law, const Real3<T>& p1, T r1,
+                       const Real3<T>& p2, T r2, const ForceParams<T>& fp) {
+  switch (law) {
+    case ForceLaw::kHertz:
+      return HertzForce(p1, r1, p2, r2, fp);
+    case ForceLaw::kCortex3D:
+    default:
+      return SphereSphereForce(p1, r1, p2, r2, fp);
+  }
+}
+
+}  // namespace biosim
+
+#endif  // BIOSIM_PHYSICS_FORCE_LAW_H_

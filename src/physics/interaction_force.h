@@ -1,0 +1,61 @@
+// Sphere-sphere mechanical interaction force — Eq. (1) of the paper
+// (originally from Hauri's Cortex3D formulation).
+//
+//   delta = r1 + r2 - |p1 - p2|          (overlap depth)
+//   r     = r1*r2 / (r1 + r2)            (reduced radius)
+//   F     = (kappa*delta - gamma*sqrt(r*delta)) * (p1 - p2)/|p1 - p2|
+//
+// The force acts on sphere 1 and is antisymmetric under exchanging the
+// spheres. delta <= 0 (no contact) yields zero force. Templated on the
+// floating-point type because Improvement I runs the identical formula in
+// FP32 on the device.
+#ifndef BIOSIM_PHYSICS_INTERACTION_FORCE_H_
+#define BIOSIM_PHYSICS_INTERACTION_FORCE_H_
+
+#include <cmath>
+
+#include "core/math.h"
+
+namespace biosim {
+
+template <typename T>
+struct ForceParams {
+  T repulsion;   // kappa
+  T attraction;  // gamma
+};
+
+/// Force exerted on the sphere at `p1` (radius `r1`) by the sphere at `p2`
+/// (radius `r2`). Zero when the spheres do not overlap or coincide exactly.
+template <typename T>
+Real3<T> SphereSphereForce(const Real3<T>& p1, T r1, const Real3<T>& p2, T r2,
+                           const ForceParams<T>& fp) {
+  Real3<T> d = p1 - p2;
+  T dist2 = d.SquaredNorm();
+  if (dist2 <= T{0}) {
+    // Coincident centers: direction undefined; physical models resolve this
+    // on the next step once growth separates the centers.
+    return {};
+  }
+  T dist = std::sqrt(dist2);
+  T delta = r1 + r2 - dist;
+  if (delta <= T{0}) {
+    return {};
+  }
+  T reduced = (r1 * r2) / (r1 + r2);
+  T magnitude = fp.repulsion * delta - fp.attraction * std::sqrt(reduced * delta);
+  return d * (magnitude / dist);
+}
+
+/// FLOP-equivalents of one evaluated (contact) force — used by the GPU
+/// simulator's compute-time model. Counted from the expression above with
+/// multi-cycle operations weighted by their throughput cost on GPU ALUs
+/// (sqrt ~ 8 flop-equivalents, div ~ 4): sub(3) + dot(5) + 2*sqrt(16) +
+/// adds(2) + div(4) + magnitude muls(6) + scale(4).
+inline constexpr int kForceFlops = 40;
+/// FLOPs spent deciding a candidate is out of range (distance test only;
+/// no sqrt needed, the comparison uses squared distances).
+inline constexpr int kDistanceTestFlops = 9;
+
+}  // namespace biosim
+
+#endif  // BIOSIM_PHYSICS_INTERACTION_FORCE_H_

@@ -1,0 +1,69 @@
+#include "physics/mechanical_forces_op.h"
+
+#include <atomic>
+
+#include "physics/displacement.h"
+#include "physics/interaction_force.h"
+
+namespace biosim {
+
+void MechanicalForcesOp::ComputeDisplacements(const ResourceManager& rm,
+                                              const Environment& env,
+                                              const Param& param,
+                                              ExecMode mode) {
+  size_t n = rm.size();
+  displacements_.assign(n, Double3{});
+
+  const auto& positions = rm.positions();
+  const auto& diameters = rm.diameters();
+  const auto& adherences = rm.adherences();
+  const auto& tractor = rm.tractor_forces();
+
+  const ForceParams<double> fp{param.repulsion_coefficient,
+                               param.attraction_coefficient};
+  const double dt = param.simulation_time_step;
+  const double max_disp = param.simulation_max_displacement;
+  const double radius = env.interaction_radius();
+  const bool torus = param.EffectiveBoundary() == BoundaryMode::kTorus;
+  const double edge = param.SpaceEdge();
+
+  std::atomic<size_t> evals{0};
+
+  ParallelForChunks(mode, n, [&](size_t begin, size_t end) {
+    size_t local_evals = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const Double3 pi = positions[i];
+      const double ri = diameters[i] / 2.0;
+      Double3 force = tractor[i];
+
+      env.ForEachNeighborWithinRadius(
+          i, rm, radius, [&](AgentIndex j, double) {
+            // On a torus the neighbor may be an image across a face; shift
+            // it so p_i - p_j is the minimum-image separation.
+            Double3 pj = torus ? pi - MinImageVector(pi, positions[j], edge)
+                               : positions[j];
+            force += EvaluateForce(force_law_, pi, ri, pj,
+                                   diameters[j] / 2.0, fp);
+            ++local_evals;
+          });
+
+      displacements_[i] =
+          ComputeDisplacement(force, adherences[i], dt, max_disp);
+    }
+    evals.fetch_add(local_evals, std::memory_order_relaxed);
+  });
+
+  force_evaluations_ = evals.load(std::memory_order_relaxed);
+}
+
+void MechanicalForcesOp::ApplyDisplacements(ResourceManager& rm,
+                                            const Param& param,
+                                            ExecMode mode) {
+  auto& positions = rm.positions();
+  size_t n = rm.size();
+  ParallelFor(mode, n, [&](size_t i) {
+    positions[i] = ApplyBoundSpace(positions[i] + displacements_[i], param);
+  });
+}
+
+}  // namespace biosim

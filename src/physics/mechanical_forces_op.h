@@ -1,0 +1,55 @@
+// CPU mechanical-interaction operation.
+//
+// For each agent: iterate its neighborhood through the Environment, sum the
+// Eq. (1) collision forces plus the tractor force, convert to a displacement
+// (adherence gate + clamp), and buffer it. Displacements are applied in a
+// second pass so the computation reads a consistent snapshot of positions —
+// the same two-phase structure the GPU offload uses (compute on device,
+// apply on host).
+#ifndef BIOSIM_PHYSICS_MECHANICAL_FORCES_OP_H_
+#define BIOSIM_PHYSICS_MECHANICAL_FORCES_OP_H_
+
+#include <vector>
+
+#include "core/param.h"
+#include "core/resource_manager.h"
+#include "core/thread_pool.h"
+#include "physics/force_law.h"
+#include "spatial/environment.h"
+
+namespace biosim {
+
+class MechanicalForcesOp {
+ public:
+  /// Contact law used for pairwise forces (the GPU kernels always use the
+  /// paper's Cortex3D law; see force_law.h).
+  explicit MechanicalForcesOp(ForceLaw law = ForceLaw::kCortex3D)
+      : force_law_(law) {}
+
+  /// Compute per-agent displacements into an internal buffer. The
+  /// environment must be up to date.
+  void ComputeDisplacements(const ResourceManager& rm, const Environment& env,
+                            const Param& param, ExecMode mode);
+
+  /// Apply the buffered displacements to the agent positions (and bound the
+  /// space). Also zeroes the buffer.
+  void ApplyDisplacements(ResourceManager& rm, const Param& param,
+                          ExecMode mode);
+
+  /// Displacement buffer (tests and the GPU-equivalence suite compare it).
+  const std::vector<Double3>& displacements() const { return displacements_; }
+  std::vector<Double3>& mutable_displacements() { return displacements_; }
+
+  /// Number of force evaluations in the last ComputeDisplacements call
+  /// (work-count diagnostics; also drives CPU-model calibration).
+  size_t last_force_evaluations() const { return force_evaluations_; }
+
+ private:
+  ForceLaw force_law_;
+  std::vector<Double3> displacements_;
+  size_t force_evaluations_ = 0;
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_PHYSICS_MECHANICAL_FORCES_OP_H_

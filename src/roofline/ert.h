@@ -1,0 +1,65 @@
+// Empirical Roofline Tool (ERT) equivalent for the simulated device.
+//
+// The paper generates Fig. 12 with ERT: synthetic kernels of controlled
+// arithmetic intensity are run on the machine to find the *empirical*
+// compute ceiling and memory-bandwidth ceilings, then the application
+// kernels are placed on the plot via their nvprof-measured AI and GFLOP/s.
+// This class does the same against the SIMT simulator: streaming FMA
+// kernels at a sweep of FLOPs-per-byte run through the full coalescer/L2/
+// timing pipeline, establishing the ceilings that the mech kernels are then
+// plotted against.
+#ifndef BIOSIM_ROOFLINE_ERT_H_
+#define BIOSIM_ROOFLINE_ERT_H_
+
+#include <string>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+
+namespace biosim::roofline {
+
+struct RooflinePoint {
+  std::string label;
+  double arithmetic_intensity = 0.0;  // FLOP per DRAM byte
+  double gflops = 0.0;                // achieved
+};
+
+struct RooflineCeilings {
+  double fp32_peak_gflops = 0.0;      // empirical compute roof
+  double fp64_peak_gflops = 0.0;
+  double dram_bandwidth_gbps = 0.0;   // empirical HBM/GDDR roof
+  double l2_bandwidth_gbps = 0.0;
+
+  /// Attainable FP32 performance at a given arithmetic intensity.
+  double Attainable(double ai) const {
+    double mem_bound = ai * dram_bandwidth_gbps;
+    return mem_bound < fp32_peak_gflops ? mem_bound : fp32_peak_gflops;
+  }
+};
+
+class EmpiricalRoofline {
+ public:
+  /// `working_set_bytes` sizes the streaming buffers (must exceed L2 to
+  /// measure DRAM, not cache).
+  explicit EmpiricalRoofline(gpusim::DeviceSpec spec,
+                             size_t working_set_bytes = 64ull << 20);
+
+  /// Run the microkernel sweep; returns the empirical ceilings.
+  RooflineCeilings Measure();
+
+  /// The sweep's raw points (one per trial intensity), for plotting.
+  const std::vector<RooflinePoint>& sweep_points() const { return points_; }
+
+  /// Render a gnuplot-ready table: ceilings plus the given kernel points.
+  static std::string Table(const RooflineCeilings& ceilings,
+                           const std::vector<RooflinePoint>& kernels);
+
+ private:
+  gpusim::DeviceSpec spec_;
+  size_t working_set_bytes_;
+  std::vector<RooflinePoint> points_;
+};
+
+}  // namespace biosim::roofline
+
+#endif  // BIOSIM_ROOFLINE_ERT_H_

@@ -1,0 +1,197 @@
+#include "spatial/uniform_grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "physics/displacement.h"
+
+namespace biosim {
+
+namespace {
+
+// Atomic vectors cannot be resized through assign(); rebuild in place.
+void ResetAtomicVector(std::vector<std::atomic<int32_t>>& v, size_t n,
+                       int32_t value, ExecMode mode) {
+  if (v.size() != n) {
+    std::vector<std::atomic<int32_t>> fresh(n);
+    v.swap(fresh);
+  }
+  ParallelFor(mode, n, [&](size_t i) {
+    v[i].store(value, std::memory_order_relaxed);
+  });
+}
+
+}  // namespace
+
+void UniformGridEnvironment::Update(const ResourceManager& rm,
+                                    const Param& param, ExecMode mode) {
+  size_t n = rm.size();
+  interaction_radius_ = rm.LargestDiameter() + param.interaction_radius_margin;
+
+  if (n == 0) {
+    // Degenerate population: a single empty box (a zero interaction radius
+    // would otherwise explode the box count over the fallback bounds).
+    grid_min_ = {0, 0, 0};
+    box_length_ = fixed_box_length_ > 0.0 ? fixed_box_length_ : 1.0;
+    num_boxes_axis_ = {1, 1, 1};
+    ResetAtomicVector(box_start_, 1, kEmpty, mode);
+    ResetAtomicVector(box_count_, 1, 0, mode);
+    successors_.clear();
+    return;
+  }
+
+  box_length_ = fixed_box_length_ > 0.0
+                    ? fixed_box_length_
+                    : std::max(interaction_radius_, 1e-6);
+
+  torus_ = param.EffectiveBoundary() == BoundaryMode::kTorus;
+  if (torus_) {
+    // Periodic grid: cover [min_bound, max_bound) exactly with boxes no
+    // smaller than the interaction radius, so the wrapped 27-box scheme
+    // still sees every neighbor.
+    edge_ = param.SpaceEdge();
+    int32_t nb = std::max<int32_t>(
+        1, static_cast<int32_t>(std::floor(edge_ / box_length_)));
+    box_length_ = edge_ / static_cast<double>(nb);
+    grid_min_ = {param.min_bound, param.min_bound, param.min_bound};
+    num_boxes_axis_ = {nb, nb, nb};
+  } else {
+    AABBd bounds = rm.Bounds();
+    grid_min_ = bounds.min;
+    Double3 size = bounds.Size();
+    auto axis_boxes = [&](double extent) {
+      return static_cast<int32_t>(std::floor(extent / box_length_)) + 1;
+    };
+    num_boxes_axis_ = {axis_boxes(size.x), axis_boxes(size.y),
+                       axis_boxes(size.z)};
+  }
+
+  size_t total = static_cast<size_t>(num_boxes_axis_.x) *
+                 static_cast<size_t>(num_boxes_axis_.y) *
+                 static_cast<size_t>(num_boxes_axis_.z);
+
+  ResetAtomicVector(box_start_, total, kEmpty, mode);
+  ResetAtomicVector(box_count_, total, 0, mode);
+  successors_.resize(n);
+
+  // Parallel insert: each agent atomically pushes itself onto its box's
+  // linked list. The resulting per-box order depends on thread interleaving
+  // but the *set* per box is deterministic, which is all the mechanics needs.
+  const auto& pos = rm.positions();
+  ParallelFor(mode, n, [&](size_t i) {
+    size_t b = BoxIndexOf(pos[i]);
+    int32_t prev = box_start_[b].exchange(static_cast<int32_t>(i),
+                                          std::memory_order_relaxed);
+    successors_[i] = prev;
+    box_count_[b].fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+Int3 UniformGridEnvironment::BoxCoordinatesOf(const Double3& pos) const {
+  auto coord = [&](double v, double lo, int32_t n) {
+    int32_t c = static_cast<int32_t>(std::floor((v - lo) / box_length_));
+    return std::clamp(c, 0, n - 1);
+  };
+  return {coord(pos.x, grid_min_.x, num_boxes_axis_.x),
+          coord(pos.y, grid_min_.y, num_boxes_axis_.y),
+          coord(pos.z, grid_min_.z, num_boxes_axis_.z)};
+}
+
+size_t UniformGridEnvironment::BoxIndexOf(const Double3& pos) const {
+  return FlatBoxIndex(BoxCoordinatesOf(pos));
+}
+
+void UniformGridEnvironment::ForEachNeighborWithinRadius(
+    AgentIndex query, const ResourceManager& rm, double radius,
+    NeighborFn fn) const {
+  assert(radius <= box_length_ + 1e-12 &&
+         "uniform grid only covers the 27 surrounding boxes");
+  const auto& pos = rm.positions();
+  const Double3 q = pos[query];
+  const double r2 = radius * radius;
+  const Int3 c = BoxCoordinatesOf(q);
+
+  // Offset range per axis: {-1,0,1} normally, reduced when a periodic axis
+  // has fewer than 3 boxes (a wrapped offset would revisit the same box).
+  auto axis_offsets = [&](int32_t nb) {
+    if (!torus_ || nb >= 3) {
+      return std::pair<int32_t, int32_t>{-1, 1};
+    }
+    return nb == 2 ? std::pair<int32_t, int32_t>{-1, 0}
+                   : std::pair<int32_t, int32_t>{0, 0};
+  };
+  auto [z_lo, z_hi] = axis_offsets(num_boxes_axis_.z);
+  auto [y_lo, y_hi] = axis_offsets(num_boxes_axis_.y);
+  auto [x_lo, x_hi] = axis_offsets(num_boxes_axis_.x);
+
+  // The 3x3x3 block around the query's box (Fig. 4): clamped at the domain
+  // faces normally, wrapped around them on a torus.
+  for (int32_t dz = z_lo; dz <= z_hi; ++dz) {
+    int32_t z = c.z + dz;
+    if (torus_) {
+      z = (z + num_boxes_axis_.z) % num_boxes_axis_.z;
+    } else if (z < 0 || z >= num_boxes_axis_.z) {
+      continue;
+    }
+    for (int32_t dy = y_lo; dy <= y_hi; ++dy) {
+      int32_t y = c.y + dy;
+      if (torus_) {
+        y = (y + num_boxes_axis_.y) % num_boxes_axis_.y;
+      } else if (y < 0 || y >= num_boxes_axis_.y) {
+        continue;
+      }
+      for (int32_t dx = x_lo; dx <= x_hi; ++dx) {
+        int32_t x = c.x + dx;
+        if (torus_) {
+          x = (x + num_boxes_axis_.x) % num_boxes_axis_.x;
+        } else if (x < 0 || x >= num_boxes_axis_.x) {
+          continue;
+        }
+        size_t b = FlatBoxIndex({x, y, z});
+        for (int32_t j = box_start(b); j != kEmpty; j = successors_[j]) {
+          if (static_cast<AgentIndex>(j) == query) {
+            continue;
+          }
+          double d2 = torus_ ? MinImageVector(q, pos[j], edge_).SquaredNorm()
+                             : SquaredDistance(q, pos[j]);
+          if (d2 <= r2) {
+            fn(static_cast<AgentIndex>(j), d2);
+          }
+        }
+      }
+    }
+  }
+}
+
+double UniformGridEnvironment::MeanAgentsPerBox() const {
+  size_t occupied = 0;
+  size_t agents = 0;
+  for (size_t b = 0; b < box_count_.size(); ++b) {
+    int32_t c = box_count(b);
+    if (c > 0) {
+      ++occupied;
+      agents += static_cast<size_t>(c);
+    }
+  }
+  return occupied == 0 ? 0.0
+                       : static_cast<double>(agents) / static_cast<double>(occupied);
+}
+
+double UniformGridEnvironment::MeanNeighborCount(const ResourceManager& rm,
+                                                 size_t sample_stride) const {
+  if (rm.empty()) {
+    return 0.0;
+  }
+  size_t count = 0;
+  size_t samples = 0;
+  for (size_t i = 0; i < rm.size(); i += sample_stride) {
+    ++samples;
+    ForEachNeighborWithinRadius(
+        i, rm, interaction_radius_,
+        [&](AgentIndex, double) { ++count; });
+  }
+  return static_cast<double>(count) / static_cast<double>(samples);
+}
+
+}  // namespace biosim

@@ -1,0 +1,104 @@
+// Uniform grid environment: the paper's core CPU contribution (Section IV-A,
+// Fig. 4 and Fig. 5).
+//
+// The simulation AABB is covered by cubic boxes of edge >= the interaction
+// radius, so the neighborhood of any agent is contained in the 3x3x3 block of
+// boxes around it. Per Fig. 5, each Box stores {start, length} and agents in
+// the same box are chained through the grid-wide `successors_` linked list:
+//
+//     box.start -> successors_[box.start] -> ... (length hops)
+//
+// Insertion is one atomic exchange on box.start plus one atomic increment of
+// box.length, so the build — unlike the kd-tree's — parallelizes perfectly.
+// The same four arrays (box starts, box lengths, successors, box coordinates)
+// are what the GPU kernels consume after a single H2D copy.
+#ifndef BIOSIM_SPATIAL_UNIFORM_GRID_H_
+#define BIOSIM_SPATIAL_UNIFORM_GRID_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "spatial/environment.h"
+
+namespace biosim {
+
+class UniformGridEnvironment : public Environment {
+ public:
+  static constexpr int32_t kEmpty = -1;
+
+  /// If `fixed_box_length` > 0, the grid always uses that box edge length
+  /// instead of deriving it from the largest agent diameter (benchmark B
+  /// keeps it fixed so the measured density sweep is exact).
+  explicit UniformGridEnvironment(double fixed_box_length = 0.0)
+      : fixed_box_length_(fixed_box_length) {}
+
+  void Update(const ResourceManager& rm, const Param& param,
+              ExecMode mode) override;
+
+  void ForEachNeighborWithinRadius(AgentIndex query,
+                                   const ResourceManager& rm, double radius,
+                                   NeighborFn fn) const override;
+
+  double interaction_radius() const override { return interaction_radius_; }
+  const char* name() const override { return "uniform-grid"; }
+
+  // --- raw grid state, consumed by the GPU offload and by tests ----------
+  double box_length() const { return box_length_; }
+  const Int3& num_boxes_axis() const { return num_boxes_axis_; }
+  size_t total_boxes() const { return box_start_.size(); }
+  const Double3& grid_min() const { return grid_min_; }
+
+  /// First agent in box b, or kEmpty.
+  int32_t box_start(size_t b) const {
+    return box_start_[b].load(std::memory_order_relaxed);
+  }
+  /// Number of agents in box b.
+  int32_t box_count(size_t b) const {
+    return box_count_[b].load(std::memory_order_relaxed);
+  }
+  const std::vector<int32_t>& successors() const { return successors_; }
+
+  /// Flat box index of a position (clamped into the grid).
+  size_t BoxIndexOf(const Double3& pos) const;
+  Int3 BoxCoordinatesOf(const Double3& pos) const;
+  size_t FlatBoxIndex(const Int3& c) const {
+    return (static_cast<size_t>(c.z) * static_cast<size_t>(num_boxes_axis_.y) +
+            static_cast<size_t>(c.y)) *
+               static_cast<size_t>(num_boxes_axis_.x) +
+           static_cast<size_t>(c.x);
+  }
+
+  /// Mean number of agents per non-empty box (diagnostics; benchmark B's
+  /// density knob is validated against this).
+  double MeanAgentsPerBox() const;
+
+  /// Average neighbor count over a sample of agents at the interaction
+  /// radius; this is the paper's "neighborhood density" n.
+  double MeanNeighborCount(const ResourceManager& rm,
+                           size_t sample_stride = 1) const;
+
+  /// Whether the current Update built a periodic (torus) grid.
+  bool is_torus() const { return torus_; }
+
+ private:
+  double fixed_box_length_ = 0.0;
+  double interaction_radius_ = 0.0;
+  double box_length_ = 1.0;
+  Double3 grid_min_;
+  Int3 num_boxes_axis_{1, 1, 1};
+  // Torus mode (periodic space): neighbor iteration wraps across faces and
+  // distances are minimum-image.
+  bool torus_ = false;
+  double edge_ = 0.0;
+
+  // Box::start and Box::length of Fig. 5, stored as parallel arrays (SoA, as
+  // everywhere else) so they copy to the device as two flat buffers.
+  std::vector<std::atomic<int32_t>> box_start_;
+  std::vector<std::atomic<int32_t>> box_count_;
+  std::vector<int32_t> successors_;
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_SPATIAL_UNIFORM_GRID_H_

@@ -1,0 +1,57 @@
+#include "spatial/zorder_sort.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace biosim {
+
+std::vector<AgentIndex> ZOrderPermutation(const std::vector<Double3>& positions,
+                                          const Double3& origin, double cell,
+                                          ExecMode mode) {
+  size_t n = positions.size();
+  std::vector<uint64_t> keys(n);
+  ParallelFor(mode, n, [&](size_t i) {
+    keys[i] = MortonEncodePosition(positions[i], origin, cell);
+  });
+
+  std::vector<AgentIndex> perm(n);
+  std::iota(perm.begin(), perm.end(), AgentIndex{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](AgentIndex a, AgentIndex b) {
+    return keys[a] < keys[b];
+  });
+  return perm;
+}
+
+std::vector<AgentIndex> SortAgentsByZOrder(ResourceManager& rm, double cell,
+                                           ExecMode mode) {
+  AABBd bounds = rm.Bounds();
+  if (!bounds.Valid() || cell <= 0.0) {
+    // Nothing to sort (empty population) or degenerate cell size.
+    std::vector<AgentIndex> identity(rm.size());
+    std::iota(identity.begin(), identity.end(), AgentIndex{0});
+    return identity;
+  }
+  auto perm = ZOrderPermutation(rm.positions(), bounds.min, cell, mode);
+  rm.ApplyPermutation(perm);
+  return perm;
+}
+
+double MeanNeighborRowDistance(const std::vector<Double3>& positions,
+                               double radius) {
+  size_t n = positions.size();
+  double r2 = radius * radius;
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (SquaredDistance(positions[i], positions[j]) <= r2) {
+        sum += static_cast<double>(j - i);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+}  // namespace biosim

@@ -1,0 +1,147 @@
+#include "app/config.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace biosim::app {
+namespace {
+
+TEST(ConfigTest, EmptyTextGivesDefaults) {
+  RunConfig cfg = ParseConfigString("");
+  EXPECT_EQ(cfg.steps, 10u);
+  EXPECT_EQ(cfg.model_type, "cell_division");
+  EXPECT_EQ(cfg.backend_type, "cpu");
+}
+
+TEST(ConfigTest, ParsesAllSections) {
+  RunConfig cfg = ParseConfigString(R"(
+[simulation]
+steps = 123
+seed = 9
+max_bound = 500
+timestep = 0.02
+max_displacement = 1.5
+
+[model]
+type = random_cloud
+agents = 777
+density = 13
+diameter = 12
+
+[backend]
+type = gpu
+gpu_version = 3
+gpu_device = v100
+meter_stride = 4
+
+[output]
+timeseries = ts.csv
+vtk = out.vtk
+csv = out.csv
+checkpoint = out.ckpt
+)");
+  EXPECT_EQ(cfg.steps, 123u);
+  EXPECT_EQ(cfg.seed, 9u);
+  EXPECT_DOUBLE_EQ(cfg.max_bound, 500.0);
+  EXPECT_DOUBLE_EQ(cfg.timestep, 0.02);
+  EXPECT_DOUBLE_EQ(cfg.max_displacement, 1.5);
+  EXPECT_EQ(cfg.model_type, "random_cloud");
+  EXPECT_EQ(cfg.agents, 777u);
+  EXPECT_DOUBLE_EQ(cfg.density, 13.0);
+  EXPECT_DOUBLE_EQ(cfg.diameter, 12.0);
+  EXPECT_EQ(cfg.backend_type, "gpu");
+  EXPECT_EQ(cfg.gpu_version, 3);
+  EXPECT_EQ(cfg.gpu_device, "v100");
+  EXPECT_EQ(cfg.meter_stride, 4);
+  EXPECT_EQ(cfg.timeseries_path, "ts.csv");
+  EXPECT_EQ(cfg.vtk_path, "out.vtk");
+  EXPECT_EQ(cfg.csv_path, "out.csv");
+  EXPECT_EQ(cfg.checkpoint_path, "out.ckpt");
+}
+
+TEST(ConfigTest, CommentsAndWhitespaceIgnored) {
+  RunConfig cfg = ParseConfigString(R"(
+# full-line hash comment
+; full-line semicolon comment
+[simulation]
+  steps   =   55   ; trailing comment
+)");
+  EXPECT_EQ(cfg.steps, 55u);
+}
+
+TEST(ConfigTest, UnknownSectionFailsWithLineNumber) {
+  try {
+    ParseConfigString("[nonsense]\nx = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("nonsense"), std::string::npos);
+  }
+}
+
+TEST(ConfigTest, UnknownKeyFails) {
+  EXPECT_THROW(ParseConfigString("[simulation]\nstepz = 5\n"),
+               std::runtime_error);
+}
+
+TEST(ConfigTest, KeyOutsideSectionFails) {
+  EXPECT_THROW(ParseConfigString("steps = 5\n"), std::runtime_error);
+}
+
+TEST(ConfigTest, MalformedNumberFails) {
+  EXPECT_THROW(ParseConfigString("[simulation]\nsteps = five\n"),
+               std::runtime_error);
+  EXPECT_THROW(ParseConfigString("[simulation]\nsteps = 1.5\n"),
+               std::runtime_error);  // integer key
+}
+
+TEST(ConfigTest, MissingEqualsFails) {
+  EXPECT_THROW(ParseConfigString("[simulation]\nsteps 5\n"),
+               std::runtime_error);
+}
+
+TEST(ConfigTest, BoundaryModes) {
+  EXPECT_EQ(ParseConfigString("[simulation]\nboundary = torus\n").boundary,
+            "torus");
+  EXPECT_THROW(ParseConfigString("[simulation]\nboundary = moebius\n"),
+               std::invalid_argument);
+  // Torus + GPU is rejected at validation.
+  EXPECT_THROW(ParseConfigString(
+                   "[simulation]\nboundary = torus\n[backend]\ntype = gpu\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigTest, ValidationRejectsBadEnumValues) {
+  EXPECT_THROW(ParseConfigString("[model]\ntype = banana\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseConfigString("[backend]\ntype = fpga\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseConfigString("[backend]\ngpu_version = 9\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseConfigString("[backend]\ngpu_device = 2080ti\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigTest, FileRoundTrip) {
+  std::string path = std::string(::testing::TempDir()) + "/cfg.ini";
+  {
+    std::ofstream out(path);
+    out << "[simulation]\nsteps = 77\n";
+  }
+  RunConfig cfg = ParseConfigFile(path);
+  EXPECT_EQ(cfg.steps, 77u);
+  std::remove(path.c_str());
+  EXPECT_THROW(ParseConfigFile("/nonexistent_xyz.ini"), std::runtime_error);
+}
+
+TEST(ConfigTest, ShippedExampleConfigsParse) {
+  // The configs under examples/configs must stay valid.
+  EXPECT_NO_THROW(ParseConfigFile(std::string(BIOSIM_SOURCE_DIR) +
+                                  "/examples/configs/cell_division.ini"));
+  EXPECT_NO_THROW(ParseConfigFile(std::string(BIOSIM_SOURCE_DIR) +
+                                  "/examples/configs/gpu_random_cloud.ini"));
+}
+
+}  // namespace
+}  // namespace biosim::app

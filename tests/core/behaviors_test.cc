@@ -1,0 +1,167 @@
+// Behavior-framework tests: the stock behaviors' contracts and their
+// interaction with the simulation loop.
+#include <gtest/gtest.h>
+
+#include "core/behaviors/apoptosis.h"
+#include "core/behaviors/chemotaxis.h"
+#include "core/behaviors/grow_divide.h"
+#include "core/behaviors/random_walk.h"
+#include "core/behaviors/secretion.h"
+#include "core/simulation.h"
+
+namespace biosim {
+namespace {
+
+TEST(RandomWalkTest, SetsUnitScaledTractorForce) {
+  Param param;
+  ResourceManager rm;
+  SimContext ctx(param, rm, /*step=*/3);
+  NewAgentSpec s;
+  s.position = {50, 50, 50};
+  AgentIndex i = rm.AddAgent(std::move(s));
+  Cell cell(rm, i);
+  RandomWalk walk(7.5);
+  walk.Run(cell, ctx);
+  EXPECT_NEAR(cell.tractor_force().Norm(), 7.5, 1e-12);
+}
+
+TEST(RandomWalkTest, DirectionChangesAcrossSteps) {
+  Param param;
+  ResourceManager rm;
+  NewAgentSpec s;
+  AgentIndex i = rm.AddAgent(std::move(s));
+  Cell cell(rm, i);
+  RandomWalk walk(1.0);
+  SimContext ctx0(param, rm, 0);
+  walk.Run(cell, ctx0);
+  Double3 f0 = cell.tractor_force();
+  SimContext ctx1(param, rm, 1);
+  walk.Run(cell, ctx1);
+  EXPECT_NE(cell.tractor_force(), f0);
+}
+
+TEST(RandomWalkTest, ReproducibleForSameUidAndStep) {
+  Param param;
+  ResourceManager rm1, rm2;
+  rm1.AddAgent(NewAgentSpec{});
+  rm2.AddAgent(NewAgentSpec{});
+  Cell c1(rm1, 0), c2(rm2, 0);
+  RandomWalk walk(1.0);
+  SimContext a(param, rm1, 5), b(param, rm2, 5);
+  walk.Run(c1, a);
+  walk.Run(c2, b);
+  EXPECT_EQ(c1.tractor_force(), c2.tractor_force());
+}
+
+TEST(RandomWalkTest, DiffusesCellsInSimulation) {
+  Param p;
+  p.default_adherence = 0.0;
+  p.max_bound = 2000.0;
+  Simulation sim(p);
+  for (int k = 0; k < 20; ++k) {
+    AgentIndex i = sim.AddCell({1000, 1000, 1000}, 10.0);
+    sim.rm().AttachBehavior(i, std::make_unique<RandomWalk>(100.0));
+  }
+  sim.Simulate(50);
+  double mean_sq = 0.0;
+  for (const auto& pos : sim.rm().positions()) {
+    mean_sq += SquaredDistance(pos, {1000, 1000, 1000});
+  }
+  mean_sq /= static_cast<double>(sim.rm().size());
+  EXPECT_GT(mean_sq, 1.0);  // cells actually spread out
+}
+
+TEST(ApoptosisTest, ZeroRateNeverKills) {
+  Param p;
+  Simulation sim(p);
+  for (int k = 0; k < 50; ++k) {
+    AgentIndex i = sim.AddCell({100.0 + k, 100, 100}, 8.0);
+    sim.rm().AttachBehavior(i, std::make_unique<Apoptosis>(0.0));
+  }
+  sim.Simulate(20);
+  EXPECT_EQ(sim.rm().size(), 50u);
+}
+
+TEST(ApoptosisTest, HugeRateKillsEveryoneInOneStep) {
+  Param p;
+  Simulation sim(p);
+  for (int k = 0; k < 50; ++k) {
+    AgentIndex i = sim.AddCell({100.0 + k, 100, 100}, 8.0);
+    // rate*dt >= 1 -> certain death.
+    sim.rm().AttachBehavior(
+        i, std::make_unique<Apoptosis>(2.0 / p.simulation_time_step));
+  }
+  sim.Simulate(1);
+  EXPECT_EQ(sim.rm().size(), 0u);
+}
+
+TEST(ApoptosisTest, PopulationDecaysAtRoughlyTheHazardRate) {
+  Param p;
+  p.random_seed = 123;
+  Simulation sim(p);
+  const size_t n0 = 2000;
+  for (size_t k = 0; k < n0; ++k) {
+    AgentIndex i = sim.AddCell(
+        {10.0 + static_cast<double>(k % 50) * 19.0,
+         10.0 + static_cast<double>(k / 50) * 19.0, 100.0},
+        8.0);
+    sim.rm().AttachBehavior(i, std::make_unique<Apoptosis>(5.0));
+  }
+  // 100 steps of dt=0.01 at hazard 5/h: survival = exp(-5) * adjustments for
+  // the discrete scheme; expected ~ (1 - 0.05)^100 ~ 0.0059 * n0 ~ 12.
+  sim.Simulate(100);
+  double expected = static_cast<double>(n0) * std::pow(1.0 - 0.05, 100);
+  EXPECT_GT(sim.rm().size(), 0u);
+  EXPECT_LT(sim.rm().size(), 5 * static_cast<size_t>(expected) + 20);
+}
+
+TEST(BehaviorCloneTest, ClonesPreserveParameters) {
+  GrowDivide gd(17.0, 1234.0);
+  auto gd2 = gd.Clone();
+  EXPECT_DOUBLE_EQ(dynamic_cast<GrowDivide*>(gd2.get())->threshold_diameter(),
+                   17.0);
+  RandomWalk rw(3.5);
+  auto rw2 = rw.Clone();
+  EXPECT_DOUBLE_EQ(dynamic_cast<RandomWalk*>(rw2.get())->speed(), 3.5);
+  Apoptosis ap(0.25);
+  auto ap2 = ap.Clone();
+  EXPECT_DOUBLE_EQ(dynamic_cast<Apoptosis*>(ap2.get())->death_rate(), 0.25);
+}
+
+TEST(BehaviorCloneTest, CopyToNewControlsInheritance) {
+  Param p;
+  ResourceManager rm;
+  SimContext ctx(p, rm, 0);
+  NewAgentSpec s;
+  s.position = {100, 100, 100};
+  s.diameter = 12.0;
+  AgentIndex i = rm.AddAgent(std::move(s));
+  auto inherited = std::make_unique<RandomWalk>(1.0);
+  auto not_inherited = std::make_unique<Apoptosis>(0.1);
+  not_inherited->copy_to_new = false;
+  rm.AttachBehavior(i, std::move(inherited));
+  rm.AttachBehavior(i, std::move(not_inherited));
+
+  Cell(rm, i).Divide(ctx);
+  rm.CommitStructuralChanges();
+  ASSERT_EQ(rm.size(), 2u);
+  EXPECT_EQ(rm.behaviors_of(0).size(), 2u);  // mother keeps both
+  ASSERT_EQ(rm.behaviors_of(1).size(), 1u);  // daughter only the walk
+  EXPECT_STREQ(rm.behaviors_of(1)[0]->name(), "RandomWalk");
+}
+
+TEST(SecretionTest, NoGridIsSafeNoop) {
+  Param p;
+  ResourceManager rm;
+  SimContext ctx(p, rm, 0);  // no diffusion grid attached
+  AgentIndex i = rm.AddAgent(NewAgentSpec{});
+  Cell cell(rm, i);
+  Secretion sec(5.0);
+  sec.Run(cell, ctx);  // must not crash
+  Chemotaxis chem(2.0);
+  chem.Run(cell, ctx);
+  EXPECT_EQ(cell.tractor_force(), (Double3{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace biosim

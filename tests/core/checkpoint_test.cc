@@ -1,0 +1,157 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "../test_util.h"
+#include "core/behaviors/grow_divide.h"
+#include "core/simulation.h"
+
+namespace biosim {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CheckpointTest, RoundTripPreservesEveryAttribute) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 137, 0.0, 90.0, 8.5, /*seed=*/4);
+  rm.adherences()[3] = 0.77;
+  rm.tractor_forces()[5] = {1.0, -2.0, 3.0};
+
+  std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(rm, path));
+
+  ResourceManager restored;
+  ASSERT_TRUE(LoadCheckpoint(&restored, path));
+  ASSERT_EQ(restored.size(), rm.size());
+  EXPECT_EQ(restored.positions(), rm.positions());
+  EXPECT_EQ(restored.diameters(), rm.diameters());
+  EXPECT_EQ(restored.volumes(), rm.volumes());
+  EXPECT_EQ(restored.adherences(), rm.adherences());
+  EXPECT_EQ(restored.densities(), rm.densities());
+  EXPECT_EQ(restored.tractor_forces(), rm.tractor_forces());
+  EXPECT_EQ(restored.uids(), rm.uids());
+  EXPECT_EQ(restored.next_uid(), rm.next_uid());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, UidAssignmentContinuesAfterRestore) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 10, 0.0, 50.0, 10.0);
+  std::string path = TempPath("uids.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(rm, path));
+
+  ResourceManager restored;
+  ASSERT_TRUE(LoadCheckpoint(&restored, path));
+  AgentIndex i = restored.AddAgent(NewAgentSpec{});
+  EXPECT_EQ(restored.uids()[i], 10u);  // continues, no collision
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, EmptyPopulationRoundTrips) {
+  ResourceManager rm;
+  std::string path = TempPath("empty.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(rm, path));
+  ResourceManager restored;
+  testutil::FillRandomCells(&restored, 5, 0.0, 10.0, 5.0);  // pre-populated
+  ASSERT_TRUE(LoadCheckpoint(&restored, path));
+  EXPECT_EQ(restored.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsGarbageAndLeavesTargetUntouched) {
+  std::string path = TempPath("garbage.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a checkpoint", f);
+  std::fclose(f);
+
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 7, 0.0, 10.0, 5.0);
+  EXPECT_FALSE(LoadCheckpoint(&rm, path));
+  EXPECT_EQ(rm.size(), 7u);  // unchanged
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsTruncatedFile) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 50, 0.0, 50.0, 10.0);
+  std::string path = TempPath("trunc.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(rm, path));
+
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+
+  ResourceManager target;
+  EXPECT_FALSE(LoadCheckpoint(&target, path));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileFails) {
+  ResourceManager rm;
+  EXPECT_FALSE(LoadCheckpoint(&rm, "/nonexistent_dir_xyz/x.ckpt"));
+  EXPECT_FALSE(SaveCheckpoint(rm, "/nonexistent_dir_xyz/x.ckpt"));
+}
+
+TEST(CheckpointTest, ResumedSimulationEvolvesIdentically) {
+  // Run 6 steps; checkpoint at 3; resume and compare to the uninterrupted
+  // run. Behaviors are re-attached after restore (they are not serialized).
+  auto make = [](ResourceManager* seed) {
+    Param p;
+    p.random_seed = 9;
+    Simulation sim(p);
+    if (seed != nullptr) {
+      // Positions only; mechanics-only model (no behaviors).
+      for (size_t i = 0; i < seed->size(); ++i) {
+        NewAgentSpec s;
+        s.position = seed->positions()[i];
+        s.diameter = seed->diameters()[i];
+        s.adherence = 0.001;
+        sim.rm().AddAgent(std::move(s));
+      }
+    }
+    return sim;
+  };
+
+  ResourceManager init;
+  testutil::FillRandomCells(&init, 200, 200.0, 400.0, 10.0, /*seed=*/31);
+  for (auto& a : init.adherences()) {
+    a = 0.001;
+  }
+
+  // Uninterrupted: 6 steps.
+  Simulation full = make(&init);
+  full.Simulate(6);
+
+  // Interrupted: 3 steps, save, load, 3 more.
+  Simulation first = make(&init);
+  first.Simulate(3);
+  std::string path = TempPath("resume.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(first.rm(), path));
+
+  Param p;
+  p.random_seed = 9;
+  Simulation resumed(p);
+  ASSERT_TRUE(LoadCheckpoint(&resumed.rm(), path));
+  resumed.Simulate(3);
+
+  ASSERT_EQ(resumed.rm().size(), full.rm().size());
+  for (size_t i = 0; i < full.rm().size(); ++i) {
+    ASSERT_NEAR(resumed.rm().positions()[i].x, full.rm().positions()[i].x,
+                1e-12);
+    ASSERT_NEAR(resumed.rm().positions()[i].y, full.rm().positions()[i].y,
+                1e-12);
+    ASSERT_NEAR(resumed.rm().positions()[i].z, full.rm().positions()[i].z,
+                1e-12);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace biosim

@@ -1,0 +1,125 @@
+#include "core/math.h"
+
+#include <gtest/gtest.h>
+
+namespace biosim {
+namespace {
+
+TEST(Real3Test, ArithmeticOperators) {
+  Double3 a{1.0, 2.0, 3.0};
+  Double3 b{4.0, -5.0, 6.0};
+  EXPECT_EQ((a + b), (Double3{5.0, -3.0, 9.0}));
+  EXPECT_EQ((a - b), (Double3{-3.0, 7.0, -3.0}));
+  EXPECT_EQ((a * 2.0), (Double3{2.0, 4.0, 6.0}));
+  EXPECT_EQ((2.0 * a), (Double3{2.0, 4.0, 6.0}));
+  EXPECT_EQ((a / 2.0), (Double3{0.5, 1.0, 1.5}));
+  EXPECT_EQ((-a), (Double3{-1.0, -2.0, -3.0}));
+}
+
+TEST(Real3Test, CompoundAssignment) {
+  Double3 a{1.0, 2.0, 3.0};
+  a += {1.0, 1.0, 1.0};
+  EXPECT_EQ(a, (Double3{2.0, 3.0, 4.0}));
+  a -= {2.0, 2.0, 2.0};
+  EXPECT_EQ(a, (Double3{0.0, 1.0, 2.0}));
+  a *= 3.0;
+  EXPECT_EQ(a, (Double3{0.0, 3.0, 6.0}));
+}
+
+TEST(Real3Test, DotCrossNorm) {
+  Double3 a{1.0, 0.0, 0.0};
+  Double3 b{0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_EQ(a.Cross(b), (Double3{0.0, 0.0, 1.0}));
+  Double3 c{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(c.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(c.SquaredNorm(), 25.0);
+}
+
+TEST(Real3Test, NormalizedHandlesZeroVector) {
+  Double3 zero{};
+  EXPECT_EQ(zero.Normalized(), (Double3{0.0, 0.0, 0.0}));
+  Double3 v{0.0, 0.0, 2.0};
+  EXPECT_EQ(v.Normalized(), (Double3{0.0, 0.0, 1.0}));
+}
+
+TEST(Real3Test, IndexAccess) {
+  Double3 v{7.0, 8.0, 9.0};
+  EXPECT_DOUBLE_EQ(v[0], 7.0);
+  EXPECT_DOUBLE_EQ(v[1], 8.0);
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+  v[1] = -1.0;
+  EXPECT_DOUBLE_EQ(v.y, -1.0);
+}
+
+TEST(Real3Test, PrecisionConversion) {
+  Double3 d{1.5, 2.5, 3.5};
+  Float3 f = d.As<float>();
+  EXPECT_FLOAT_EQ(f.x, 1.5f);
+  EXPECT_FLOAT_EQ(f.z, 3.5f);
+}
+
+TEST(Real3Test, DistanceFunctions) {
+  Double3 a{0.0, 0.0, 0.0};
+  Double3 b{1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 3.0);
+}
+
+TEST(AABBTest, ExtendAndContains) {
+  AABBd box;
+  EXPECT_FALSE(box.Valid());
+  box.Extend({1.0, 2.0, 3.0});
+  EXPECT_TRUE(box.Valid());
+  box.Extend({-1.0, 5.0, 0.0});
+  EXPECT_EQ(box.min, (Double3{-1.0, 2.0, 0.0}));
+  EXPECT_EQ(box.max, (Double3{1.0, 5.0, 3.0}));
+  EXPECT_TRUE(box.Contains({0.0, 3.0, 1.0}));
+  EXPECT_FALSE(box.Contains({2.0, 3.0, 1.0}));
+}
+
+TEST(AABBTest, SizeAndCenter) {
+  AABBd box;
+  box.Extend({0.0, 0.0, 0.0});
+  box.Extend({2.0, 4.0, 6.0});
+  EXPECT_EQ(box.Size(), (Double3{2.0, 4.0, 6.0}));
+  EXPECT_EQ(box.Center(), (Double3{1.0, 2.0, 3.0}));
+}
+
+TEST(AABBTest, SquaredDistanceToPoint) {
+  AABBd box;
+  box.Extend({0.0, 0.0, 0.0});
+  box.Extend({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo({0.5, 0.5, 0.5}), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo({2.0, 0.5, 0.5}), 1.0);  // +x face
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo({2.0, 2.0, 0.5}), 2.0);  // edge
+  EXPECT_DOUBLE_EQ(box.SquaredDistanceTo({-1.0, -1.0, -1.0}), 3.0);  // corner
+}
+
+TEST(MathTest, SphereVolumeDiameterRoundTrip) {
+  for (double d : {0.1, 1.0, 7.3, 25.0}) {
+    EXPECT_NEAR(math::SphereDiameter(math::SphereVolume(d)), d, 1e-12);
+  }
+  // V(10) = 4/3 pi 5^3
+  EXPECT_NEAR(math::SphereVolume(10.0), 523.5987755982989, 1e-9);
+}
+
+TEST(MathTest, ClampNorm) {
+  Double3 v{3.0, 4.0, 0.0};  // norm 5
+  Double3 clamped = math::ClampNorm(v, 2.5);
+  EXPECT_NEAR(clamped.Norm(), 2.5, 1e-12);
+  EXPECT_NEAR(clamped.x / clamped.y, v.x / v.y, 1e-12);  // direction kept
+  // Under the bound: unchanged.
+  EXPECT_EQ(math::ClampNorm(v, 10.0), v);
+  // Zero vector: unchanged (no NaN).
+  EXPECT_EQ(math::ClampNorm(Double3{}, 1.0), (Double3{}));
+}
+
+TEST(MathTest, AlmostEqual) {
+  EXPECT_TRUE(math::AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(math::AlmostEqual(1.0, 1.001));
+  EXPECT_TRUE(math::AlmostEqual(1e9, 1e9 + 1.0, 1e-8));
+}
+
+}  // namespace
+}  // namespace biosim

@@ -1,0 +1,49 @@
+#include "core/profiler.h"
+
+#include <gtest/gtest.h>
+
+namespace biosim {
+namespace {
+
+TEST(OpProfileTest, AccumulatesByName) {
+  OpProfile p;
+  p.Add("mech", 10.0);
+  p.Add("mech", 5.0);
+  p.Add("grid", 3.0);
+  EXPECT_DOUBLE_EQ(p.TotalMs("mech"), 15.0);
+  EXPECT_DOUBLE_EQ(p.TotalMs("grid"), 3.0);
+  EXPECT_DOUBLE_EQ(p.TotalMs("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(p.GrandTotalMs(), 18.0);
+}
+
+TEST(OpProfileTest, PreservesFirstSeenOrder) {
+  OpProfile p;
+  p.Add("b", 1.0);
+  p.Add("a", 1.0);
+  p.Add("b", 1.0);
+  ASSERT_EQ(p.entries().size(), 2u);
+  EXPECT_EQ(p.entries()[0].name, "b");
+  EXPECT_EQ(p.entries()[1].name, "a");
+  EXPECT_EQ(p.entries()[0].calls, 2u);
+}
+
+TEST(OpProfileTest, ToStringContainsPercentages) {
+  OpProfile p;
+  p.Add("half1", 50.0);
+  p.Add("half2", 50.0);
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("half1"), std::string::npos);
+  EXPECT_NE(s.find("50.00%"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+}
+
+TEST(OpProfileTest, ResetClears) {
+  OpProfile p;
+  p.Add("x", 1.0);
+  p.Reset();
+  EXPECT_TRUE(p.entries().empty());
+  EXPECT_DOUBLE_EQ(p.GrandTotalMs(), 0.0);
+}
+
+}  // namespace
+}  // namespace biosim

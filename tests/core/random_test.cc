@@ -1,0 +1,119 @@
+#include "core/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace biosim {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.NextU64() == b.NextU64();
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, UniformInUnitInterval) {
+  Random rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, UniformRangeRespectsBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(RandomTest, UniformIntRespectsBound) {
+  Random rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(13);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian(2.0, 3.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RandomTest, UnitVectorHasUnitNorm) {
+  Random rng(17);
+  Double3 mean{};
+  for (int i = 0; i < 5000; ++i) {
+    Double3 v = rng.UnitVector();
+    ASSERT_NEAR(v.Norm(), 1.0, 1e-12);
+    mean += v;
+  }
+  // Isotropy: the average direction should be near zero.
+  EXPECT_LT((mean / 5000.0).Norm(), 0.05);
+}
+
+TEST(RandomTest, UniformInBoxStaysInside) {
+  Random rng(19);
+  Double3 lo{-1.0, 0.0, 2.0}, hi{1.0, 5.0, 3.0};
+  for (int i = 0; i < 1000; ++i) {
+    Double3 p = rng.UniformInBox(lo, hi);
+    ASSERT_GE(p.x, lo.x);
+    ASSERT_LT(p.x, hi.x);
+    ASSERT_GE(p.y, lo.y);
+    ASSERT_LT(p.y, hi.y);
+    ASSERT_GE(p.z, lo.z);
+    ASSERT_LT(p.z, hi.z);
+  }
+}
+
+TEST(RandomTest, StreamsAreIndependentOfEachOther) {
+  // ForStream must decorrelate agent streams: adjacent (uid, step) pairs
+  // should produce unrelated sequences.
+  Random a = Random::ForStream(42, /*stream=*/1, /*counter=*/5);
+  Random b = Random::ForStream(42, /*stream=*/2, /*counter=*/5);
+  Random c = Random::ForStream(42, /*stream=*/1, /*counter=*/6);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RandomTest, StreamsAreReproducible) {
+  Random a = Random::ForStream(42, 7, 9);
+  Random b = Random::ForStream(42, 7, 9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+}  // namespace
+}  // namespace biosim

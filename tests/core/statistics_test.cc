@@ -1,0 +1,141 @@
+#include "core/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "spatial/uniform_grid.h"
+
+namespace biosim {
+namespace {
+
+TEST(ScalarStatsTest, EmptySeries) {
+  ScalarStats s = ScalarStats::Of({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(ScalarStatsTest, KnownSeries) {
+  ScalarStats s = ScalarStats::Of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(StatisticsTest, DiameterStatsTracksPopulation) {
+  ResourceManager rm;
+  for (double d : {8.0, 10.0, 12.0}) {
+    NewAgentSpec s;
+    s.diameter = d;
+    rm.AddAgent(std::move(s));
+  }
+  ScalarStats s = DiameterStats(rm);
+  EXPECT_DOUBLE_EQ(s.mean, 10.0);
+  EXPECT_DOUBLE_EQ(s.min, 8.0);
+  EXPECT_DOUBLE_EQ(s.max, 12.0);
+}
+
+TEST(StatisticsTest, NeighborStatsOnKnownLattice) {
+  // 3x3x3 lattice, spacing 10, radius 10: center has 6 face neighbors,
+  // corners have 3.
+  ResourceManager rm;
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      for (int z = 0; z < 3; ++z) {
+        NewAgentSpec s;
+        s.position = {x * 10.0, y * 10.0, z * 10.0};
+        s.diameter = 10.0;
+        rm.AddAgent(std::move(s));
+      }
+    }
+  }
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  NeighborStats nb = ComputeNeighborStats(rm, env);
+  EXPECT_EQ(nb.counts.count, 27u);
+  EXPECT_DOUBLE_EQ(nb.counts.max, 6.0);   // the center
+  EXPECT_DOUBLE_EQ(nb.counts.min, 3.0);   // the 8 corners
+  EXPECT_EQ(nb.histogram[3], 8u);         // corners
+  EXPECT_EQ(nb.histogram[4], 12u);        // edges
+  EXPECT_EQ(nb.histogram[5], 6u);         // faces
+  EXPECT_EQ(nb.histogram[6], 1u);         // center
+  // 3+4+5+6 neighbor counts weighted: (8*3+12*4+6*5+6)/27
+  EXPECT_NEAR(nb.counts.mean, (8.0 * 3 + 12 * 4 + 6 * 5 + 6) / 27.0, 1e-12);
+}
+
+TEST(StatisticsTest, HistogramTailBucketAggregates) {
+  // Dense clump: everyone neighbors everyone (49 neighbors each), above the
+  // 8-bucket cap.
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 50, 0.0, 5.0, 10.0);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  NeighborStats nb = ComputeNeighborStats(rm, env, /*max_bucket=*/8);
+  EXPECT_EQ(nb.histogram[8], 50u);
+  EXPECT_DOUBLE_EQ(nb.counts.mean, 49.0);
+}
+
+TEST(StatisticsTest, RadialDistributionOfUniformGasIsFlatNearOne) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 20000, 0.0, 100.0, 10.0, /*seed=*/5);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  auto g = RadialDistribution(rm, env, /*r_max=*/10.0, /*bins=*/10);
+  ASSERT_EQ(g.size(), 10u);
+  // Ignore the first bins (few pairs, noisy); the rest of an ideal gas's
+  // g(r) sits near 1.
+  for (size_t b = 3; b < g.size(); ++b) {
+    EXPECT_GT(g[b], 0.7) << "bin " << b;
+    EXPECT_LT(g[b], 1.3) << "bin " << b;
+  }
+}
+
+TEST(StatisticsTest, RadialDistributionSeesLatticeStructure) {
+  // A lattice has no pairs below the spacing: g(r) = 0 there, with a peak
+  // at the spacing.
+  ResourceManager rm;
+  testutil::FillLatticeCells(&rm, 12, 8.0, 10.0);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  auto g = RadialDistribution(rm, env, 10.0, 10);
+  // bins cover [0,10): spacing 8 falls in bin 8.
+  for (size_t b = 0; b < 7; ++b) {
+    EXPECT_DOUBLE_EQ(g[b], 0.0) << "bin " << b;
+  }
+  EXPECT_GT(g[8], 1.5);  // strong first-shell peak
+}
+
+TEST(StatisticsTest, DegenerateInputsAreSafe) {
+  ResourceManager rm;
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  EXPECT_EQ(ComputeNeighborStats(rm, env).counts.count, 0u);
+  EXPECT_EQ(RadialDistribution(rm, env, 10.0, 5).size(), 5u);
+  rm.AddAgent(NewAgentSpec{});
+  env.Update(rm, param, ExecMode::kSerial);
+  auto g = RadialDistribution(rm, env, 10.0, 5);  // single agent: no pairs
+  for (double v : g) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(StatisticsTest, SummaryMentionsTheHeadlineNumbers) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 100, 0.0, 50.0, 10.0);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  std::string s = SummarizePopulation(rm, env);
+  EXPECT_NE(s.find("n=100"), std::string::npos);
+  EXPECT_NE(s.find("diameter=10.00"), std::string::npos);
+  EXPECT_NE(s.find("neighbors="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace biosim

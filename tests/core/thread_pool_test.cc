@@ -1,0 +1,65 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace biosim {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  for (ExecMode mode : {ExecMode::kSerial, ExecMode::kParallel}) {
+    std::vector<std::atomic<int>> hits(1000);
+    ParallelFor(mode, hits.size(), [&](size_t i) { hits[i]++; });
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  int calls = 0;
+  ParallelFor(ExecMode::kParallel, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksCoverRangeExactly) {
+  for (ExecMode mode : {ExecMode::kSerial, ExecMode::kParallel}) {
+    std::vector<std::atomic<int>> hits(777);
+    ParallelForChunks(mode, hits.size(), [&](size_t b, size_t e) {
+      ASSERT_LE(b, e);
+      for (size_t i = b; i < e; ++i) {
+        hits[i]++;
+      }
+    });
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelReduceSum) {
+  for (ExecMode mode : {ExecMode::kSerial, ExecMode::kParallel}) {
+    int64_t sum = ParallelReduce<int64_t>(
+        mode, 1000, 0, [](size_t i) { return static_cast<int64_t>(i); },
+        [](int64_t a, int64_t b) { return a + b; });
+    EXPECT_EQ(sum, 999 * 1000 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelReduceMax) {
+  std::vector<int> data{3, 1, 4, 1, 5, 9, 2, 6};
+  int m = ParallelReduce<int>(
+      ExecMode::kParallel, data.size(), 0, [&](size_t i) { return data[i]; },
+      [](int a, int b) { return a > b ? a : b; });
+  EXPECT_EQ(m, 9);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsPositive) {
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace biosim

@@ -1,0 +1,153 @@
+#include "gpu/device_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/random.h"
+#include "gpusim/profiler.h"
+#include "spatial/morton.h"
+
+namespace biosim::gpu {
+namespace {
+
+using gpusim::Device;
+using gpusim::DeviceSpec;
+
+class DeviceSortTest : public ::testing::Test {
+ protected:
+  DeviceSortTest() : dev_(DeviceSpec::GTX1080Ti()), sorter_(&dev_) {}
+
+  /// Upload, sort, download; returns (keys, values).
+  std::pair<std::vector<uint64_t>, std::vector<int32_t>> Sort(
+      std::vector<uint64_t> keys, int key_bits = 64) {
+    size_t n = keys.size();
+    auto dkeys = dev_.Alloc<uint64_t>(n);
+    auto dvals = dev_.Alloc<int32_t>(n);
+    std::vector<int32_t> identity(n);
+    std::iota(identity.begin(), identity.end(), 0);
+    dev_.CopyToDevice(dkeys, std::span<const uint64_t>(keys));
+    dev_.CopyToDevice(dvals, std::span<const int32_t>(identity));
+    sorter_.SortPairs(&dkeys, &dvals, n, key_bits);
+    std::vector<uint64_t> out_k(n);
+    std::vector<int32_t> out_v(n);
+    dev_.CopyFromDevice(std::span<uint64_t>(out_k), dkeys);
+    dev_.CopyFromDevice(std::span<int32_t>(out_v), dvals);
+    return {out_k, out_v};
+  }
+
+  Device dev_;
+  DeviceRadixSorter sorter_;
+};
+
+TEST_F(DeviceSortTest, SortsRandomKeys) {
+  Random rng(3);
+  std::vector<uint64_t> keys(5000);
+  for (auto& k : keys) {
+    k = rng.NextU64();
+  }
+  auto [sorted, perm] = Sort(keys);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  // The permutation maps back to the original keys.
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(sorted[i], keys[static_cast<size_t>(perm[i])]);
+  }
+}
+
+TEST_F(DeviceSortTest, PermutationIsValid) {
+  Random rng(4);
+  std::vector<uint64_t> keys(1000);
+  for (auto& k : keys) {
+    k = rng.UniformInt(50);  // many duplicates
+  }
+  auto [sorted, perm] = Sort(keys);
+  std::vector<int32_t> check = perm;
+  std::sort(check.begin(), check.end());
+  for (size_t i = 0; i < check.size(); ++i) {
+    ASSERT_EQ(check[i], static_cast<int32_t>(i));
+  }
+}
+
+TEST_F(DeviceSortTest, StableForEqualKeys) {
+  // Equal keys must keep their original relative order.
+  std::vector<uint64_t> keys(256);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = i % 4;
+  }
+  auto [sorted, perm] = Sort(keys, /*key_bits=*/8);
+  for (size_t i = 1; i < perm.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) {
+      ASSERT_LT(perm[i - 1], perm[i]) << "stability violated at " << i;
+    }
+  }
+}
+
+TEST_F(DeviceSortTest, AlreadySortedStaysPut) {
+  std::vector<uint64_t> keys(500);
+  std::iota(keys.begin(), keys.end(), uint64_t{100});
+  auto [sorted, perm] = Sort(keys, 16);
+  EXPECT_EQ(sorted, keys);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    ASSERT_EQ(perm[i], static_cast<int32_t>(i));
+  }
+}
+
+TEST_F(DeviceSortTest, SingleElementAndEmpty) {
+  auto [one_k, one_v] = Sort({42});
+  EXPECT_EQ(one_k, (std::vector<uint64_t>{42}));
+  EXPECT_EQ(one_v, (std::vector<int32_t>{0}));
+}
+
+TEST_F(DeviceSortTest, FewerPassesForNarrowKeys) {
+  // 16-bit keys: only two radix passes should be launched.
+  Random rng(5);
+  std::vector<uint64_t> keys(2048);
+  for (auto& k : keys) {
+    k = rng.UniformInt(1 << 16);
+  }
+  size_t launches_before = dev_.history().size();
+  auto [sorted, perm] = Sort(keys, /*key_bits=*/16);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  size_t launches = dev_.history().size() - launches_before;
+  // Per pass: clear + count + scan + scatter = 4 launches; 2 passes, no
+  // copy-back (even pass count) plus the two H2D copies are not launches.
+  EXPECT_EQ(launches, 8u);
+}
+
+TEST_F(DeviceSortTest, OddPassCountCopiesBack) {
+  Random rng(6);
+  std::vector<uint64_t> keys(512);
+  for (auto& k : keys) {
+    k = rng.UniformInt(200);  // 8-bit keys -> 1 pass (odd)
+  }
+  auto [sorted, perm] = Sort(keys, /*key_bits=*/8);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  gpusim::ProfileReport report(dev_);
+  EXPECT_NE(report.Find("radix_copyback"), nullptr);
+}
+
+TEST_F(DeviceSortTest, SortsMortonKeysOfACloud) {
+  Random rng(7);
+  std::vector<uint64_t> keys(4096);
+  for (auto& k : keys) {
+    Double3 p = rng.UniformInCube(0.0, 500.0);
+    k = MortonEncodePosition(p, {0, 0, 0}, 10.0);
+  }
+  auto [sorted, perm] = Sort(keys, /*key_bits=*/33);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST_F(DeviceSortTest, AdvancesTheSimulatedClock) {
+  Random rng(8);
+  std::vector<uint64_t> keys(10000);
+  for (auto& k : keys) {
+    k = rng.NextU64();
+  }
+  double before = dev_.KernelMs();
+  Sort(keys);
+  EXPECT_GT(dev_.KernelMs(), before);
+}
+
+}  // namespace
+}  // namespace biosim::gpu

@@ -1,0 +1,78 @@
+// Device allocation and transfer-accounting tests.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.h"
+
+namespace biosim::gpusim {
+namespace {
+
+TEST(DeviceBufferTest, AllocationsAreDisjointAndAligned) {
+  Device dev(DeviceSpec::GTX1080Ti());
+  auto a = dev.Alloc<float>(100);   // 400 B
+  auto b = dev.Alloc<double>(10);   // 80 B
+  auto c = dev.Alloc<int32_t>(1);
+  // 256-byte alignment.
+  EXPECT_EQ(a.addr(0) % 256, 0u);
+  EXPECT_EQ(b.addr(0) % 256, 0u);
+  EXPECT_EQ(c.addr(0) % 256, 0u);
+  // Disjoint, increasing address ranges.
+  EXPECT_GE(b.addr(0), a.addr(0) + 100 * sizeof(float));
+  EXPECT_GE(c.addr(0), b.addr(0) + 10 * sizeof(double));
+}
+
+TEST(DeviceBufferTest, ElementAddressesAreContiguous) {
+  Device dev(DeviceSpec::GTX1080Ti());
+  auto buf = dev.Alloc<double>(16);
+  for (size_t i = 1; i < 16; ++i) {
+    EXPECT_EQ(buf.addr(i) - buf.addr(i - 1), sizeof(double));
+  }
+}
+
+TEST(DeviceBufferTest, CopiesMoveDataAndMeterBytes) {
+  Device dev(DeviceSpec::TeslaV100());
+  auto buf = dev.Alloc<int32_t>(256);
+  std::vector<int32_t> host(256);
+  for (int i = 0; i < 256; ++i) {
+    host[i] = i * 3;
+  }
+  dev.CopyToDevice(buf, std::span<const int32_t>(host));
+  EXPECT_EQ(buf[100], 300);
+  EXPECT_EQ(dev.transfers().h2d_bytes, 256u * 4);
+  EXPECT_EQ(dev.transfers().h2d_count, 1u);
+
+  std::vector<int32_t> back(256);
+  dev.CopyFromDevice(std::span<int32_t>(back), buf);
+  EXPECT_EQ(back, host);
+  EXPECT_EQ(dev.transfers().d2h_bytes, 256u * 4);
+}
+
+TEST(DeviceBufferTest, PartialCopiesRespectSpanSize) {
+  Device dev(DeviceSpec::GTX1080Ti());
+  auto buf = dev.Alloc<float>(100);
+  std::vector<float> four{1, 2, 3, 4};
+  dev.CopyToDevice(buf, std::span<const float>(four));
+  EXPECT_EQ(dev.transfers().h2d_bytes, 16u);
+  EXPECT_FLOAT_EQ(buf[3], 4.0f);
+}
+
+TEST(DeviceBufferTest, TransferTimeOnSimulatedClock) {
+  Device dev(DeviceSpec::GTX1080Ti());
+  auto buf = dev.Alloc<float>(3'000'000);
+  std::vector<float> host(3'000'000, 1.0f);
+  double before = dev.ElapsedMs();
+  dev.CopyToDevice(buf, std::span<const float>(host));
+  // 12 MB over 12 GB/s = 1 ms (+10 us latency).
+  EXPECT_NEAR(dev.ElapsedMs() - before, 1.0, 0.1);
+}
+
+TEST(DeviceBufferTest, ResetClockKeepsData) {
+  Device dev(DeviceSpec::GTX1080Ti());
+  auto buf = dev.Alloc<float>(4);
+  buf[2] = 7.0f;
+  dev.ResetClock();
+  EXPECT_DOUBLE_EQ(dev.ElapsedMs(), 0.0);
+  EXPECT_FLOAT_EQ(buf[2], 7.0f);
+}
+
+}  // namespace
+}  // namespace biosim::gpusim

@@ -1,0 +1,56 @@
+#include "gpusim/l2_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace biosim::gpusim {
+namespace {
+
+TEST(L2CacheTest, ColdMissThenHit) {
+  L2Cache l2(4096, 128, 4);
+  EXPECT_FALSE(l2.Access(0));
+  EXPECT_TRUE(l2.Access(0));
+  EXPECT_TRUE(l2.Access(64));  // same line
+  EXPECT_FALSE(l2.Access(128));  // next line
+}
+
+TEST(L2CacheTest, LruEvictionWithinSet) {
+  // 4-way set: fill a set with 4 lines, touch the first again, insert a
+  // fifth; the least-recently-used (second) line must be the victim.
+  L2Cache l2(/*capacity=*/128 * 4 * 8, /*line=*/128, /*assoc=*/4);  // 8 sets
+  size_t sets = l2.num_sets();
+  auto addr_for_set0 = [&](uint64_t k) { return k * sets * 128; };
+  for (uint64_t k = 0; k < 4; ++k) {
+    EXPECT_FALSE(l2.Access(addr_for_set0(k)));
+  }
+  EXPECT_TRUE(l2.Access(addr_for_set0(0)));   // refresh line 0
+  EXPECT_FALSE(l2.Access(addr_for_set0(4)));  // evicts line 1
+  EXPECT_TRUE(l2.Access(addr_for_set0(0)));   // still resident
+  EXPECT_FALSE(l2.Access(addr_for_set0(1)));  // was evicted
+}
+
+TEST(L2CacheTest, DistinctSetsDoNotInterfere) {
+  L2Cache l2(128 * 4 * 8, 128, 4);
+  // Lines in different sets never evict each other.
+  for (uint64_t s = 0; s < 8; ++s) {
+    EXPECT_FALSE(l2.Access(s * 128));
+  }
+  for (uint64_t s = 0; s < 8; ++s) {
+    EXPECT_TRUE(l2.Access(s * 128));
+  }
+}
+
+TEST(L2CacheTest, ResetEmptiesCache) {
+  L2Cache l2(4096, 128, 4);
+  l2.Access(0);
+  l2.Reset();
+  EXPECT_FALSE(l2.Access(0));
+}
+
+TEST(L2CacheTest, TinyCapacityStillWorks) {
+  L2Cache l2(/*capacity=*/64, /*line=*/128, /*assoc=*/16);  // degenerate
+  EXPECT_GE(l2.num_sets(), 1u);
+  EXPECT_FALSE(l2.Access(0));
+}
+
+}  // namespace
+}  // namespace biosim::gpusim

@@ -1,0 +1,185 @@
+#include "gpusim/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device.h"
+
+namespace biosim::gpusim {
+namespace {
+
+DeviceSpec SmallCacheSpec() {
+  DeviceSpec s = DeviceSpec::GTX1080Ti();
+  s.l2_capacity_bytes = 64 * 1024;
+  // Disable the L1 (one line of capacity) so these tests isolate the L2;
+  // L1-specific behavior is covered below.
+  s.l1_capacity_bytes = 128;
+  s.l1_associativity = 1;
+  return s;
+}
+
+TEST(MemoryModelTest, CoalescedWarpLoadIsOneTransactionPerLine) {
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  // 32 lanes loading consecutive floats starting at a line boundary:
+  // 32*4 = 128 bytes = exactly one 128B transaction.
+  std::vector<LaneAccess> warp;
+  for (uint32_t l = 0; l < 32; ++l) {
+    warp.push_back({uint64_t{1} << 20 | (l * 4), 4});
+  }
+  mm.AccessWarp(warp, false, &st);
+  EXPECT_EQ(st.read_transactions, 1u);
+  EXPECT_EQ(st.requested_read_bytes, 128u);
+  EXPECT_EQ(st.dram_read_bytes, 128u);  // cold cache
+}
+
+TEST(MemoryModelTest, CoalescedDoubleLoadIsTwoTransactions) {
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  std::vector<LaneAccess> warp;
+  for (uint32_t l = 0; l < 32; ++l) {
+    warp.push_back({uint64_t{1} << 20 | (l * 8), 8});
+  }
+  mm.AccessWarp(warp, false, &st);
+  EXPECT_EQ(st.read_transactions, 2u);  // 256 bytes = 2 lines
+  EXPECT_EQ(st.requested_read_bytes, 256u);
+}
+
+TEST(MemoryModelTest, ScatteredWarpLoadIsOneTransactionPerLane) {
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  std::vector<LaneAccess> warp;
+  for (uint32_t l = 0; l < 32; ++l) {
+    warp.push_back({(uint64_t{1} << 20) + l * 4096, 4});  // 4KB stride
+  }
+  mm.AccessWarp(warp, false, &st);
+  EXPECT_EQ(st.read_transactions, 32u);
+  EXPECT_EQ(st.requested_read_bytes, 128u);
+  EXPECT_EQ(st.dram_read_bytes, 32u * 128);  // 32 full lines fetched
+}
+
+TEST(MemoryModelTest, DuplicateAddressesWithinWarpDeduplicate) {
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  std::vector<LaneAccess> warp(32, LaneAccess{uint64_t{1} << 20, 4});
+  mm.AccessWarp(warp, false, &st);
+  EXPECT_EQ(st.read_transactions, 1u);  // broadcast
+}
+
+TEST(MemoryModelTest, AccessSpanningTwoLines) {
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  // 8-byte access at offset 124 crosses the 128B boundary.
+  std::vector<LaneAccess> warp{{(uint64_t{1} << 20) + 124, 8}};
+  mm.AccessWarp(warp, false, &st);
+  EXPECT_EQ(st.read_transactions, 2u);
+}
+
+TEST(MemoryModelTest, RepeatedLineHitsInCache) {
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  std::vector<LaneAccess> warp{{uint64_t{1} << 20, 4}};
+  mm.AccessWarp(warp, false, &st);
+  EXPECT_EQ(st.dram_read_bytes, 128u);
+  EXPECT_EQ(st.l2_read_hit_bytes + st.l1_read_hit_bytes, 0u);
+  mm.AccessWarp(warp, false, &st);
+  EXPECT_EQ(st.dram_read_bytes, 128u);  // unchanged: second access hits L1
+  EXPECT_EQ(st.l1_read_hit_bytes, 128u);
+}
+
+TEST(MemoryModelTest, AlternatingLinesHitInL2BehindTinyL1) {
+  // Two lines ping-pong: they evict each other from the 1-line L1 but both
+  // stay resident in the L2.
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  std::vector<LaneAccess> a{{uint64_t{1} << 20, 4}};
+  std::vector<LaneAccess> b{{(uint64_t{1} << 20) + 4096, 4}};
+  mm.AccessWarp(a, false, &st);
+  mm.AccessWarp(b, false, &st);
+  for (int i = 0; i < 3; ++i) {
+    mm.AccessWarp(a, false, &st);
+    mm.AccessWarp(b, false, &st);
+  }
+  EXPECT_EQ(st.dram_read_bytes, 256u);        // two cold misses only
+  EXPECT_EQ(st.l2_read_hit_bytes, 6u * 128);  // all revisits hit L2
+  EXPECT_DOUBLE_EQ(st.L2ReadHitFraction(), 0.75);
+}
+
+TEST(MemoryModelTest, CacheResetForgetsLines) {
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  std::vector<LaneAccess> warp{{uint64_t{1} << 20, 4}};
+  mm.AccessWarp(warp, false, &st);
+  mm.ResetCache();
+  mm.AccessWarp(warp, false, &st);
+  EXPECT_EQ(st.dram_read_bytes, 256u);  // both missed
+  EXPECT_EQ(st.l2_read_hit_bytes, 0u);
+}
+
+TEST(MemoryModelTest, WorkingSetLargerThanL2Thrashes) {
+  MemoryModel mm(SmallCacheSpec());  // 64 KiB L2 = 512 lines
+  KernelStats st;
+  // Stream 4x the capacity twice; the second pass must still miss (LRU).
+  const uint64_t base = uint64_t{1} << 20;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t line = 0; line < 2048; ++line) {
+      std::vector<LaneAccess> warp{{base + line * 128, 4}};
+      mm.AccessWarp(warp, false, &st);
+    }
+  }
+  EXPECT_GT(st.dram_read_bytes, 3 * st.l2_read_hit_bytes);
+}
+
+TEST(MemoryModelTest, WorkingSetSmallerThanL2IsCaptured) {
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  const uint64_t base = uint64_t{1} << 20;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (uint64_t line = 0; line < 256; ++line) {  // 32 KiB working set
+      std::vector<LaneAccess> warp{{base + line * 128, 4}};
+      mm.AccessWarp(warp, false, &st);
+    }
+  }
+  // First pass misses to DRAM; the other three passes hit on-chip (the
+  // streaming working set exceeds the 1-line L1, so they hit in L2).
+  EXPECT_EQ(st.dram_read_bytes, 256u * 128);
+  EXPECT_EQ(st.l2_read_hit_bytes, 3u * 256 * 128);
+}
+
+TEST(MemoryModelTest, WritesTrackedSeparately) {
+  MemoryModel mm(SmallCacheSpec());
+  KernelStats st;
+  std::vector<LaneAccess> warp{{uint64_t{1} << 20, 4}};
+  mm.AccessWarp(warp, true, &st);
+  EXPECT_EQ(st.write_transactions, 1u);
+  EXPECT_EQ(st.dram_write_bytes, 128u);
+  EXPECT_EQ(st.read_transactions, 0u);
+  // A read of the just-written line hits on-chip (write-allocate).
+  mm.AccessWarp(warp, false, &st);
+  EXPECT_EQ(st.l1_read_hit_bytes + st.l2_read_hit_bytes, 128u);
+}
+
+TEST(MemoryModelTest, L1CapturesShortReuseWindows) {
+  // Default spec (48 KiB L1): a small hot set revisited immediately stays in
+  // L1; the same revisits never reach L2 or DRAM after the cold pass.
+  MemoryModel mm(DeviceSpec::GTX1080Ti());
+  KernelStats st;
+  const uint64_t base = uint64_t{1} << 22;
+  for (int pass = 0; pass < 8; ++pass) {
+    for (uint64_t line = 0; line < 64; ++line) {  // 8 KiB hot set
+      std::vector<LaneAccess> warp{{base + line * 128, 8}};
+      mm.AccessWarp(warp, false, &st);
+    }
+  }
+  EXPECT_EQ(st.dram_read_bytes, 64u * 128);
+  EXPECT_EQ(st.l1_read_hit_bytes, 7u * 64 * 128);
+  EXPECT_EQ(st.l2_read_hit_bytes, 0u);
+}
+
+TEST(L2GeometryTest, SpecGeometryIsRespected) {
+  L2Cache l2(/*capacity=*/16 * 1024, /*line=*/128, /*assoc=*/4);
+  EXPECT_EQ(l2.num_sets(), 32u);
+  EXPECT_EQ(l2.ways(), 4u);
+}
+
+}  // namespace
+}  // namespace biosim::gpusim

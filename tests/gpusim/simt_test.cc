@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpusim/device.h"
+
+namespace biosim::gpusim {
+namespace {
+
+DeviceSpec TestSpec() { return DeviceSpec::GTX1080Ti(); }
+
+TEST(SimtTest, ThreadIndexingCoversGrid) {
+  Device dev(TestSpec());
+  const size_t n = 1000;
+  auto out = dev.Alloc<int32_t>(n);
+  dev.Launch({"ids", 8, 128}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      if (t.gtid() < n) {
+        t.st(out, t.gtid(), static_cast<int32_t>(t.gtid()));
+      }
+    });
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], static_cast<int32_t>(i));
+  }
+}
+
+TEST(SimtTest, LaneAndBlockGeometry) {
+  Device dev(TestSpec());
+  auto lanes = dev.Alloc<int32_t>(256);
+  auto blocks = dev.Alloc<int32_t>(256);
+  dev.Launch({"geom", 4, 64}, [&](BlockCtx& blk) {
+    EXPECT_EQ(blk.block_dim(), 64u);
+    EXPECT_EQ(blk.grid_dim(), 4u);
+    blk.for_each_lane([&](Lane& t) {
+      t.st(lanes, t.gtid(), static_cast<int32_t>(t.lane()));
+      t.st(blocks, t.gtid(), static_cast<int32_t>(t.block()));
+    });
+  });
+  EXPECT_EQ(lanes[0], 0);
+  EXPECT_EQ(lanes[63], 63);
+  EXPECT_EQ(lanes[64], 0);
+  EXPECT_EQ(blocks[63], 0);
+  EXPECT_EQ(blocks[64], 1);
+  EXPECT_EQ(blocks[255], 3);
+}
+
+TEST(SimtTest, FunctionalLoadStoreRoundTrip) {
+  Device dev(TestSpec());
+  const size_t n = 512;
+  auto in = dev.Alloc<float>(n);
+  auto out = dev.Alloc<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<float>(i) * 0.5f;
+  }
+  dev.Launch({"copy2x", 2, 256}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      t.st(out, t.gtid(), t.ld(in, t.gtid()) * 2.0f);
+    });
+  });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(out[i], static_cast<float>(i));
+  }
+}
+
+TEST(SimtTest, SharedMemoryVisibleAcrossPhases) {
+  // Classic block reverse through shared memory: needs the barrier between
+  // the two for_each_lane phases to be a real barrier.
+  Device dev(TestSpec());
+  const size_t n = 256;
+  auto in = dev.Alloc<int32_t>(n);
+  auto out = dev.Alloc<int32_t>(n);
+  for (size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<int32_t>(i);
+  }
+  dev.Launch({"reverse", 2, 128}, [&](BlockCtx& blk) {
+    auto cache = blk.shared<int32_t>(128);
+    blk.for_each_lane([&](Lane& t) {
+      t.shared_st(cache, t.lane(), t.ld(in, t.gtid()));
+    });
+    // __syncthreads()
+    blk.for_each_lane([&](Lane& t) {
+      int32_t v = t.shared_ld(cache, blk.block_dim() - 1 - t.lane());
+      t.st(out, t.gtid(), v);
+    });
+  });
+  for (size_t b = 0; b < 2; ++b) {
+    for (size_t l = 0; l < 128; ++l) {
+      ASSERT_EQ(out[b * 128 + l], static_cast<int32_t>(b * 128 + 127 - l));
+    }
+  }
+}
+
+TEST(SimtTest, SharedMemoryZeroInitialized) {
+  Device dev(TestSpec());
+  auto out = dev.Alloc<float>(32);
+  dev.Launch({"zeroinit", 1, 32}, [&](BlockCtx& blk) {
+    auto sm = blk.shared<float>(32);
+    blk.for_each_lane(
+        [&](Lane& t) { t.st(out, t.lane(), t.shared_ld(sm, t.lane())); });
+  });
+  for (size_t i = 0; i < 32; ++i) {
+    ASSERT_EQ(out[i], 0.0f);
+  }
+}
+
+TEST(SimtTest, GlobalAtomicAddAccumulates) {
+  Device dev(TestSpec());
+  auto counter = dev.Alloc<int32_t>(1);
+  counter[0] = 0;
+  dev.Launch({"count", 10, 100}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      (void)t.atomic_add(counter, 0, int32_t{1});
+    });
+  });
+  EXPECT_EQ(counter[0], 1000);
+}
+
+TEST(SimtTest, SharedAtomicAppendProducesDenseSlots) {
+  Device dev(TestSpec());
+  const size_t n = 200;
+  auto out = dev.Alloc<int32_t>(n);
+  dev.Launch({"append", 1, 256}, [&](BlockCtx& blk) {
+    auto count = blk.shared<int32_t>(1);
+    auto slots = blk.shared<int32_t>(256);
+    blk.for_each_lane([&](Lane& t) {
+      if (t.lane() < n) {
+        int32_t slot = t.atomic_add_shared(count, 0, int32_t{1});
+        t.shared_st(slots, slot, static_cast<int32_t>(t.lane()));
+      }
+    });
+    blk.for_each_lane([&](Lane& t) {
+      if (t.lane() < n) {
+        t.st(out, t.lane(), t.shared_ld(slots, t.lane()));
+      }
+    });
+  });
+  // Every lane id 0..n-1 appears exactly once among the slots.
+  std::vector<bool> seen(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_GE(out[i], 0);
+    ASSERT_LT(out[i], static_cast<int32_t>(n));
+    ASSERT_FALSE(seen[out[i]]);
+    seen[out[i]] = true;
+  }
+}
+
+TEST(SimtTest, AtomicExchangeBuildsLinkedList) {
+  // The exact pattern of the ug_build kernel.
+  Device dev(TestSpec());
+  const size_t n = 100;
+  auto head = dev.Alloc<int32_t>(1);
+  auto next = dev.Alloc<int32_t>(n);
+  head[0] = -1;
+  dev.Launch({"list", 1, 128}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      if (t.lane() < n) {
+        int32_t old = t.atomic_exch(head, 0, static_cast<int32_t>(t.lane()));
+        t.st(next, t.lane(), old);
+      }
+    });
+  });
+  std::vector<bool> seen(n, false);
+  size_t count = 0;
+  for (int32_t j = head[0]; j != -1; j = next[j]) {
+    ASSERT_FALSE(seen[j]);
+    seen[j] = true;
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST(SimtTest, DivergenceLowersSimdEfficiency) {
+  Device dev(TestSpec());
+  const size_t n = 32 * 64;
+  auto buf = dev.Alloc<float>(n);
+  auto out = dev.Alloc<float>(n);
+
+  auto uniform = dev.Launch({"uniform", 64, 32}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      float v = t.ld(buf, t.gtid());
+      t.flops32(64);
+      t.st(out, t.gtid(), v);
+    });
+  });
+
+  auto divergent = dev.Launch({"divergent", 64, 32}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      float v = t.ld(buf, t.gtid());
+      // Only lane 0 of each warp does the heavy loop.
+      if (t.lane() % 32 == 0) {
+        t.flops32(64 * 31);
+      }
+      t.flops32(64);
+      t.st(out, t.gtid(), v);
+    });
+  });
+
+  EXPECT_GT(uniform.SimdEfficiency(), 0.95);
+  EXPECT_LT(divergent.SimdEfficiency(), 0.25);
+}
+
+TEST(SimtTest, PartialWarpCountsAsIdleLanes) {
+  Device dev(TestSpec());
+  auto out = dev.Alloc<float>(8);
+  auto stats = dev.Launch({"partial", 1, 8}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      t.flops32(10);
+      t.st(out, t.lane(), 1.0f);
+    });
+  });
+  // 8 of 32 lanes active -> efficiency ~ 0.25
+  EXPECT_NEAR(stats.SimdEfficiency(), 0.25, 0.05);
+}
+
+TEST(SimtTest, FlopCountersSeparatePrecision) {
+  Device dev(TestSpec());
+  auto out = dev.Alloc<float>(32);
+  auto stats = dev.Launch({"flops", 1, 32}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      t.flops32(7);
+      t.flops64(3);
+      t.st(out, t.lane(), 0.0f);
+    });
+  });
+  EXPECT_EQ(stats.fp32_flops, 32u * 7);
+  EXPECT_EQ(stats.fp64_flops, 32u * 3);
+}
+
+TEST(SimtTest, AtomicConflictCounting) {
+  Device dev(TestSpec());
+  auto target = dev.Alloc<int32_t>(64);
+
+  // All 32 lanes of one warp update the same address: 31 serialized steps.
+  auto conflicted = dev.Launch({"conflict", 1, 32}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      (void)t.atomic_add(target, 0, int32_t{1});
+    });
+  });
+  EXPECT_EQ(conflicted.atomic_ops, 32u);
+  EXPECT_EQ(conflicted.atomic_serialized, 31u);
+
+  // Each lane updates its own address: no serialization.
+  auto clean = dev.Launch({"noconflict", 1, 32}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) {
+      (void)t.atomic_add(target, t.lane(), int32_t{1});
+    });
+  });
+  EXPECT_EQ(clean.atomic_ops, 32u);
+  EXPECT_EQ(clean.atomic_serialized, 0u);
+}
+
+TEST(SimtTest, ExecutionIsDeterministic) {
+  auto run = [] {
+    Device dev(TestSpec());
+    const size_t n = 4096;
+    auto a = dev.Alloc<float>(n);
+    auto b = dev.Alloc<float>(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(i % 17);
+    }
+    auto st = dev.Launch({"k", (n + 127) / 128, 128}, [&](BlockCtx& blk) {
+      blk.for_each_lane([&](Lane& t) {
+        size_t i = t.gtid();
+        if (i >= n) {
+          return;
+        }
+        float v = t.ld(a, i);
+        t.flops32(2);
+        t.st(b, i, v * 2.0f + 1.0f);
+      });
+    });
+    return std::make_tuple(st.dram_read_bytes, st.l2_read_hit_bytes,
+                           st.total_ms, b[1234]);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimtTest, DeviceClockAccumulates) {
+  Device dev(TestSpec());
+  auto buf = dev.Alloc<float>(1024);
+  EXPECT_DOUBLE_EQ(dev.ElapsedMs(), 0.0);
+  dev.Launch({"a", 8, 128}, [&](BlockCtx& blk) {
+    blk.for_each_lane([&](Lane& t) { t.st(buf, t.gtid(), 1.0f); });
+  });
+  double after_one = dev.ElapsedMs();
+  EXPECT_GT(after_one, 0.0);
+  std::vector<float> host(1024);
+  dev.CopyFromDevice(std::span<float>(host), buf);
+  EXPECT_GT(dev.ElapsedMs(), after_one);
+  EXPECT_EQ(dev.transfers().d2h_bytes, 4096u);
+  dev.ResetClock();
+  EXPECT_DOUBLE_EQ(dev.ElapsedMs(), 0.0);
+}
+
+}  // namespace
+}  // namespace biosim::gpusim

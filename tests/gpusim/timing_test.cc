@@ -1,0 +1,139 @@
+#include "gpusim/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace biosim::gpusim {
+namespace {
+
+KernelStats MemBoundStats() {
+  KernelStats st;
+  st.fp32_flops = 1'000'000;            // 1 MFLOP
+  st.dram_read_bytes = 100'000'000;     // 100 MB
+  st.lane_ops_sum = 1000;
+  st.warp_ops_slots = 1000;             // no divergence
+  return st;
+}
+
+TEST(TimingModelTest, MemoryBoundKernelTimeIsBandwidthBytes) {
+  DeviceSpec spec = DeviceSpec::GTX1080Ti();
+  KernelStats st = MemBoundStats();
+  ApplyTimingModel(spec, &st);
+  // 100 MB / 484 GB/s = 0.2066 ms; compute (1 MFLOP / 11.3 TFLOPS) ~ 88 ns.
+  EXPECT_GT(st.memory_ms, st.compute_ms);
+  EXPECT_NEAR(st.total_ms, st.launch_ms + st.memory_ms, 1e-9);
+  EXPECT_NEAR(st.memory_ms, 100e6 / (484e9) * 1e3, 1e-4);
+}
+
+TEST(TimingModelTest, ComputeBoundKernelUsesFlopRate) {
+  DeviceSpec spec = DeviceSpec::GTX1080Ti();
+  KernelStats st;
+  st.fp32_flops = 10'000'000'000ull;  // 10 GFLOP
+  st.dram_read_bytes = 1000;
+  st.lane_ops_sum = 100;
+  st.warp_ops_slots = 100;
+  ApplyTimingModel(spec, &st);
+  EXPECT_GT(st.compute_ms, st.memory_ms);
+  EXPECT_NEAR(st.compute_ms, 10e9 / 11.34e12 * 1e3, 1e-3);
+}
+
+TEST(TimingModelTest, Fp64IsThirtyTwoTimesSlowerOnConsumerCard) {
+  DeviceSpec spec = DeviceSpec::GTX1080Ti();
+  KernelStats a, b;
+  a.fp32_flops = 1'000'000'000;
+  b.fp64_flops = 1'000'000'000;
+  ApplyTimingModel(spec, &a);
+  ApplyTimingModel(spec, &b);
+  EXPECT_NEAR(b.compute_ms / a.compute_ms, 32.0, 0.1);
+}
+
+TEST(TimingModelTest, V100Fp64IsOnlyTwoTimesSlower) {
+  DeviceSpec spec = DeviceSpec::TeslaV100();
+  KernelStats a, b;
+  a.fp32_flops = 1'000'000'000;
+  b.fp64_flops = 1'000'000'000;
+  ApplyTimingModel(spec, &a);
+  ApplyTimingModel(spec, &b);
+  EXPECT_NEAR(b.compute_ms / a.compute_ms, 15.7 / 7.8, 0.05);
+}
+
+TEST(TimingModelTest, MoreBytesNeverFaster) {
+  DeviceSpec spec = DeviceSpec::TeslaV100();
+  KernelStats st = MemBoundStats();
+  ApplyTimingModel(spec, &st);
+  double t1 = st.total_ms;
+  st.dram_read_bytes *= 2;
+  ApplyTimingModel(spec, &st);
+  EXPECT_GT(st.total_ms, t1);
+}
+
+TEST(TimingModelTest, L2HitsAreCheaperThanDram) {
+  DeviceSpec spec = DeviceSpec::TeslaV100();
+  KernelStats dram = MemBoundStats();
+  KernelStats l2 = MemBoundStats();
+  l2.l2_read_hit_bytes = l2.dram_read_bytes;
+  l2.dram_read_bytes = 0;
+  ApplyTimingModel(spec, &dram);
+  ApplyTimingModel(spec, &l2);
+  EXPECT_LT(l2.total_ms, dram.total_ms);
+  EXPECT_NEAR(dram.memory_ms / l2.memory_ms,
+              spec.l2_bandwidth_gbps / spec.dram_bandwidth_gbps, 0.01);
+}
+
+TEST(TimingModelTest, DivergenceInflatesComputeTime) {
+  DeviceSpec spec = DeviceSpec::GTX1080Ti();
+  KernelStats full, half;
+  full.fp32_flops = half.fp32_flops = 1'000'000'000;
+  full.lane_ops_sum = 3200;
+  full.warp_ops_slots = 3200;
+  half.lane_ops_sum = 1600;
+  half.warp_ops_slots = 3200;  // 50% SIMD efficiency
+  ApplyTimingModel(spec, &full);
+  ApplyTimingModel(spec, &half);
+  EXPECT_NEAR(half.compute_ms / full.compute_ms, 2.0, 0.01);
+}
+
+TEST(TimingModelTest, AtomicSerializationAddsTime) {
+  DeviceSpec spec = DeviceSpec::GTX1080Ti();
+  KernelStats st = MemBoundStats();
+  ApplyTimingModel(spec, &st);
+  double base = st.total_ms;
+  st.atomic_serialized = 10'000'000;
+  ApplyTimingModel(spec, &st);
+  EXPECT_GT(st.total_ms, base);
+  EXPECT_NEAR(st.atomic_ms,
+              10e6 * spec.atomic_serialize_ns * 1e-9 /
+                  spec.atomic_parallelism() * 1e3,
+              1e-6);
+}
+
+TEST(TimingModelTest, HigherBandwidthDeviceIsFasterOnMemBound) {
+  KernelStats a = MemBoundStats();
+  KernelStats b = MemBoundStats();
+  ApplyTimingModel(DeviceSpec::GTX1080Ti(), &a);
+  ApplyTimingModel(DeviceSpec::TeslaV100(), &b);
+  EXPECT_LT(b.total_ms, a.total_ms);
+}
+
+TEST(TimingModelTest, TransferTimeScalesWithBytes) {
+  DeviceSpec spec = DeviceSpec::GTX1080Ti();
+  double t1 = TransferMs(spec, 1'000'000);
+  double t2 = TransferMs(spec, 2'000'000);
+  EXPECT_GT(t2, t1);
+  // Latency floor for tiny transfers.
+  EXPECT_GE(TransferMs(spec, 1), spec.pcie_latency_us * 1e-3);
+}
+
+TEST(TimingModelTest, DerivedMetrics) {
+  KernelStats st;
+  st.fp32_flops = 2'000'000;
+  st.dram_read_bytes = 500'000;
+  st.dram_write_bytes = 500'000;
+  st.l2_read_hit_bytes = 1'000'000;
+  st.total_ms = 2.0;
+  EXPECT_DOUBLE_EQ(st.ArithmeticIntensity(), 2.0);
+  EXPECT_DOUBLE_EQ(st.AchievedGflops(), 2e6 / (2.0 * 1e6));
+  EXPECT_DOUBLE_EQ(st.L2ReadHitFraction(), 1e6 / 1.5e6);
+}
+
+}  // namespace
+}  // namespace biosim::gpusim

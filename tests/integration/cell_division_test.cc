@@ -1,0 +1,121 @@
+// The paper's benchmark A model (Section III): a 3D grid of cells that grow
+// and divide for 10 iterations — here at reduced scale, checking the model's
+// biological invariants.
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+
+namespace biosim {
+namespace {
+
+Simulation MakeDivisionSim(size_t cells_per_dim, uint64_t seed = 42) {
+  Param p;
+  p.random_seed = seed;
+  p.max_bound = 1000.0;
+  Simulation sim(p);
+  // Diameter 8 with threshold 16: cells must roughly double in volume
+  // before dividing.
+  sim.Create3DCellGrid(cells_per_dim, 20.0, 8.0, 16.0,
+                       /*growth_rate=*/120000.0);
+  return sim;
+}
+
+TEST(CellDivisionBenchmarkTest, PopulationGrowsMonotonically) {
+  Simulation sim = MakeDivisionSim(4);
+  size_t prev = sim.rm().size();
+  for (int i = 0; i < 10; ++i) {
+    sim.Simulate(1);
+    EXPECT_GE(sim.rm().size(), prev);
+    prev = sim.rm().size();
+  }
+  EXPECT_GT(sim.rm().size(), 64u);  // divisions happened
+}
+
+TEST(CellDivisionBenchmarkTest, PopulationAboutDoublesPerCycle) {
+  Simulation sim = MakeDivisionSim(4);
+  sim.Simulate(10);
+  // growth 120000*0.01 = 1200 um^3/step; volume from d=8 (268) to d=16
+  // (2145) takes ~2 steps, then divide -> several doublings in 10 steps.
+  EXPECT_GE(sim.rm().size(), 4u * 64u);
+  EXPECT_LE(sim.rm().size(), 64u * 64u);
+}
+
+TEST(CellDivisionBenchmarkTest, AllDiametersStayInModelRange) {
+  Simulation sim = MakeDivisionSim(4);
+  sim.Simulate(10);
+  for (double d : sim.rm().diameters()) {
+    EXPECT_GT(d, 4.0);
+    EXPECT_LT(d, 17.5);  // threshold + one growth step of slack
+  }
+}
+
+TEST(CellDivisionBenchmarkTest, PositionsStayInBoundedSpace) {
+  Simulation sim = MakeDivisionSim(4);
+  sim.Simulate(10);
+  const Param& p = sim.param();
+  for (const auto& pos : sim.rm().positions()) {
+    EXPECT_GE(pos.x, p.min_bound);
+    EXPECT_LE(pos.x, p.max_bound);
+    EXPECT_GE(pos.y, p.min_bound);
+    EXPECT_LE(pos.y, p.max_bound);
+    EXPECT_GE(pos.z, p.min_bound);
+    EXPECT_LE(pos.z, p.max_bound);
+  }
+}
+
+TEST(CellDivisionBenchmarkTest, UidsRemainUnique) {
+  Simulation sim = MakeDivisionSim(3);
+  sim.Simulate(10);
+  std::set<AgentUid> uids(sim.rm().uids().begin(), sim.rm().uids().end());
+  EXPECT_EQ(uids.size(), sim.rm().size());
+}
+
+TEST(CellDivisionBenchmarkTest, RunIsReproducible) {
+  Simulation a = MakeDivisionSim(3, /*seed=*/9);
+  Simulation b = MakeDivisionSim(3, /*seed=*/9);
+  a.Simulate(8);
+  b.Simulate(8);
+  ASSERT_EQ(a.rm().size(), b.rm().size());
+  EXPECT_EQ(a.rm().positions(), b.rm().positions());
+  EXPECT_EQ(a.rm().uids(), b.rm().uids());
+}
+
+TEST(CellDivisionBenchmarkTest, DifferentSeedsDiverge) {
+  Simulation a = MakeDivisionSim(3, 1);
+  Simulation b = MakeDivisionSim(3, 2);
+  a.Simulate(8);
+  b.Simulate(8);
+  // Division axes differ, so positions must differ even if counts match.
+  EXPECT_NE(a.rm().positions(), b.rm().positions());
+}
+
+TEST(CellDivisionBenchmarkTest, MechanicalForcesDominateTheProfile) {
+  // Fig. 3's headline: mechanics (forces + neighborhood) is the bulk of the
+  // runtime once the population is dense.
+  Simulation sim = MakeDivisionSim(6);
+  sim.Simulate(10);
+  const OpProfile& prof = sim.profile();
+  double mech = prof.TotalMs("mechanical forces") +
+                prof.TotalMs("neighborhood update");
+  EXPECT_GT(mech / prof.GrandTotalMs(), 0.4);
+}
+
+TEST(CellDivisionBenchmarkTest, GrowthPhaseConservesVolumeAcrossDivision) {
+  // Between consecutive steps, total volume increases by at most
+  // growth_rate*dt per cell (division itself conserves volume).
+  Param p;
+  Simulation sim(p);
+  sim.Create3DCellGrid(3, 20.0, 16.0, 16.0, /*growth=*/100.0);
+  double before = sim.rm().TotalVolume();
+  size_t n_before = sim.rm().size();
+  sim.Simulate(1);
+  double after = sim.rm().TotalVolume();
+  double max_growth = static_cast<double>(n_before) * 100.0 *
+                      sim.param().simulation_time_step;
+  EXPECT_GT(sim.rm().size(), n_before);  // divisions happened (d >= 16)
+  EXPECT_LE(after, before + max_growth + 1e-6);
+  EXPECT_GE(after, before - 1e-6);
+}
+
+}  // namespace
+}  // namespace biosim

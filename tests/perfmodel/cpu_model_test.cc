@@ -1,0 +1,122 @@
+#include "perfmodel/cpu_model.h"
+
+#include <gtest/gtest.h>
+
+namespace biosim::perfmodel {
+namespace {
+
+TEST(CpuSpecTest, TableOneTopology) {
+  CpuSpec a = CpuSpec::XeonE5_2640v4_x2();
+  EXPECT_EQ(a.total_cores(), 20);    // Table I: 20 cores
+  EXPECT_EQ(a.total_threads(), 40);  // Table I: 40 threads
+  CpuSpec b = CpuSpec::XeonGold6130_x2();
+  EXPECT_EQ(b.total_cores(), 32);    // Table I: 32 cores
+  EXPECT_EQ(b.total_threads(), 64);  // Table I: 64 threads
+}
+
+TEST(CpuModelTest, OneThreadIsIdentity) {
+  CpuScalingModel m(CpuSpec::XeonGold6130_x2(),
+                    WorkloadCharacter::KdTreeMechanics());
+  EXPECT_DOUBLE_EQ(m.ProjectMs(1000.0, 1), 1000.0);
+}
+
+TEST(CpuModelTest, MoreThreadsNeverSlowerUpToSocketLimits) {
+  CpuScalingModel m(CpuSpec::XeonGold6130_x2(),
+                    WorkloadCharacter::KdTreeMechanics());
+  double prev = m.ProjectMs(1000.0, 1);
+  for (int t : {2, 4, 8, 16, 32}) {
+    double cur = m.ProjectMs(1000.0, t, /*single_socket=*/false);
+    EXPECT_LT(cur, prev) << t << " threads";
+    prev = cur;
+  }
+}
+
+TEST(CpuModelTest, SpeedupBoundedByAmdahl) {
+  WorkloadCharacter w = WorkloadCharacter::KdTreeMechanics();  // 85% parallel
+  CpuScalingModel m(CpuSpec::XeonGold6130_x2(), w);
+  // Even infinite threads cannot beat 1/(1-p) = 6.67x.
+  EXPECT_LT(m.ProjectSpeedup(64), 1.0 / (1.0 - w.parallel_fraction));
+}
+
+TEST(CpuModelTest, ThreadCountsAboveHardwareSaturate) {
+  CpuScalingModel m(CpuSpec::XeonE5_2640v4_x2(),
+                    WorkloadCharacter::UniformGridMechanics());
+  EXPECT_DOUBLE_EQ(m.ProjectMs(100.0, 40), m.ProjectMs(100.0, 4000));
+}
+
+TEST(CpuModelTest, SmtYieldsLessThanPhysicalCores) {
+  CpuScalingModel m(CpuSpec::XeonGold6130_x2(),
+                    WorkloadCharacter::UniformGridMechanics());
+  double t32 = m.ProjectMs(1000.0, 32);  // all physical cores
+  double t64 = m.ProjectMs(1000.0, 64);  // + SMT siblings
+  double gain = t32 / t64;
+  EXPECT_GT(gain, 1.0);
+  EXPECT_LT(gain, 1.5);  // far from 2x
+}
+
+TEST(CpuModelTest, NumaPenaltyAppliesOnlyWhenSpanningSockets) {
+  // The paper pins with taskset precisely because crossing sockets hurts
+  // memory-bound loops: the same thread count is slower when the workload
+  // carries a NUMA penalty than when it does not.
+  WorkloadCharacter with_numa = WorkloadCharacter::KdTreeMechanics();
+  WorkloadCharacter no_numa = with_numa;
+  no_numa.numa_penalty = 1.0;
+  CpuSpec spec = CpuSpec::XeonE5_2640v4_x2();
+  CpuScalingModel mw(spec, with_numa), mo(spec, no_numa);
+  // 40 threads span both sockets: penalty visible.
+  EXPECT_GT(mw.ProjectMs(1000.0, 40), mo.ProjectMs(1000.0, 40));
+  // 16 threads fit within one socket's hardware threads: no penalty.
+  EXPECT_DOUBLE_EQ(mw.ProjectMs(1000.0, 16), mo.ProjectMs(1000.0, 16));
+  // Pinning suppresses the penalty at any thread count.
+  EXPECT_DOUBLE_EQ(mw.ProjectMs(1000.0, 40, /*single_socket=*/true),
+                   mo.ProjectMs(1000.0, 40, /*single_socket=*/true));
+}
+
+TEST(CpuModelTest, BenchmarkBScalingShape) {
+  // Fig. 10/11's CPU-side message: on system B, 64 threads buy only ~2x
+  // over 4 threads for the kd-tree baseline.
+  CpuScalingModel m(CpuSpec::XeonGold6130_x2(),
+                    WorkloadCharacter::KdTreeMechanics());
+  double t4 = m.ProjectMs(1000.0, 4);
+  double t64 = m.ProjectMs(1000.0, 64);
+  double gain = t4 / t64;
+  EXPECT_GT(gain, 1.6);
+  EXPECT_LT(gain, 3.0);
+}
+
+TEST(CpuModelTest, UniformGridScalesBetterThanKdTree) {
+  // The mechanism behind the paper's mt-UG = 4.3x mt-kd result: the UG
+  // workload has a much smaller serial fraction.
+  CpuSpec spec = CpuSpec::XeonE5_2640v4_x2();
+  CpuScalingModel kd(spec, WorkloadCharacter::KdTreeMechanics());
+  CpuScalingModel ug(spec, WorkloadCharacter::UniformGridMechanics());
+  double kd20 = kd.ProjectSpeedup(20, /*single_socket=*/false);
+  double ug20 = ug.ProjectSpeedup(20, /*single_socket=*/false);
+  EXPECT_GT(ug20 / kd20, 1.5);
+}
+
+TEST(CpuModelTest, BandwidthCeilingCapsMemoryBoundScaling) {
+  WorkloadCharacter w = WorkloadCharacter::UniformGridMechanics();
+  w.single_thread_bw_gbps = 30.0;  // 1 socket saturates at ~4 threads
+  CpuScalingModel m(CpuSpec::XeonGold6130_x2(), w);
+  double ceiling = m.BandwidthCeiling(/*single_socket=*/true);
+  EXPECT_NEAR(ceiling, 128.0 / 30.0, 1e-9);
+  // Memory part stops improving beyond the ceiling.
+  double t8 = m.ProjectMs(1000.0, 8, true);
+  double t16 = m.ProjectMs(1000.0, 16, true);
+  // Only the compute share still scales: limited improvement.
+  EXPECT_LT(t8 / t16, 1.6);
+}
+
+TEST(CpuModelTest, EffectiveParallelismTopology) {
+  CpuScalingModel m(CpuSpec::XeonGold6130_x2(),
+                    WorkloadCharacter::KdTreeMechanics());
+  EXPECT_DOUBLE_EQ(m.EffectiveParallelism(16, false), 16.0);
+  EXPECT_DOUBLE_EQ(m.EffectiveParallelism(32, false), 32.0);
+  EXPECT_DOUBLE_EQ(m.EffectiveParallelism(64, false), 32.0 + 0.25 * 32.0);
+  // Pinned to one socket: 16 cores + 16 SMT.
+  EXPECT_DOUBLE_EQ(m.EffectiveParallelism(64, true), 16.0 + 0.25 * 16.0);
+}
+
+}  // namespace
+}  // namespace biosim::perfmodel

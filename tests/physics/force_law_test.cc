@@ -1,0 +1,129 @@
+#include "physics/force_law.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/random.h"
+#include "physics/mechanical_forces_op.h"
+#include "spatial/uniform_grid.h"
+
+namespace biosim {
+namespace {
+
+const ForceParams<double> kParams{2.0, 1.0};
+
+TEST(HertzForceTest, ZeroBeyondContactAndAtCoincidence) {
+  EXPECT_EQ(HertzForce<double>({0, 0, 0}, 5.0, {11, 0, 0}, 5.0, kParams),
+            (Double3{0, 0, 0}));
+  EXPECT_EQ(HertzForce<double>({0, 0, 0}, 5.0, {10, 0, 0}, 5.0, kParams),
+            (Double3{0, 0, 0}));
+  EXPECT_EQ(HertzForce<double>({3, 3, 3}, 5.0, {3, 3, 3}, 5.0, kParams),
+            (Double3{0, 0, 0}));
+}
+
+TEST(HertzForceTest, ThreeHalvesPowerScaling) {
+  // F(2*delta) / F(delta) = 2^{1.5} for fixed radii.
+  auto mag = [&](double separation) {
+    return HertzForce<double>({0, 0, 0}, 5.0, {separation, 0, 0}, 5.0,
+                              kParams)
+        .Norm();
+  };
+  double f1 = mag(9.0);   // delta = 1
+  double f2 = mag(8.0);   // delta = 2
+  EXPECT_NEAR(f2 / f1, std::pow(2.0, 1.5), 1e-9);
+}
+
+TEST(HertzForceTest, HandComputedMagnitude) {
+  // r1=r2=5 -> r_eff=2.5; separation 8 -> delta=2.
+  // |F| = E * sqrt(2.5) * 2^{1.5}, E = 2.
+  Double3 f = HertzForce<double>({0, 0, 0}, 5.0, {8, 0, 0}, 5.0, kParams);
+  EXPECT_NEAR(f.Norm(), 2.0 * std::sqrt(2.5) * std::pow(2.0, 1.5), 1e-12);
+  EXPECT_LT(f.x, 0.0);  // repulsive: pushes sphere 1 away
+}
+
+TEST(HertzForceTest, PurelyRepulsiveEverywhere) {
+  Random rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    Double3 p2 = rng.UnitVector() * rng.Uniform(0.1, 9.9);
+    Double3 f = HertzForce<double>({0, 0, 0}, 5.0, p2, 5.0, kParams);
+    // Force on sphere 1 points away from sphere 2.
+    ASSERT_LE(f.Dot(p2), 1e-12);
+  }
+}
+
+TEST(HertzForceTest, NewtonsThirdLaw) {
+  Random rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    Double3 p1 = rng.UniformInCube(0, 10);
+    Double3 p2 = rng.UniformInCube(0, 10);
+    Double3 f12 = HertzForce(p1, 6.0, p2, 6.0, kParams);
+    Double3 f21 = HertzForce(p2, 6.0, p1, 6.0, kParams);
+    ASSERT_LT((f12 + f21).Norm(), 1e-9);
+  }
+}
+
+TEST(EvaluateForceTest, DispatchesOnLaw) {
+  Double3 p2{8, 0, 0};
+  Double3 cortex =
+      EvaluateForce<double>(ForceLaw::kCortex3D, {0, 0, 0}, 5.0, p2, 5.0,
+                            kParams);
+  Double3 hertz = EvaluateForce<double>(ForceLaw::kHertz, {0, 0, 0}, 5.0, p2,
+                                        5.0, kParams);
+  EXPECT_EQ(cortex,
+            SphereSphereForce<double>({0, 0, 0}, 5.0, p2, 5.0, kParams));
+  EXPECT_EQ(hertz, HertzForce<double>({0, 0, 0}, 5.0, p2, 5.0, kParams));
+  EXPECT_NE(cortex, hertz);
+}
+
+TEST(ForceLawOpTest, HertzOpRelaxesOverlapsWithoutAdhesion) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 200, 0.0, 40.0, 10.0);
+  for (auto& a : rm.adherences()) {
+    a = 0.001;
+  }
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+
+  MechanicalForcesOp cortex_op(ForceLaw::kCortex3D);
+  MechanicalForcesOp hertz_op(ForceLaw::kHertz);
+  cortex_op.ComputeDisplacements(rm, env, param, ExecMode::kSerial);
+  hertz_op.ComputeDisplacements(rm, env, param, ExecMode::kSerial);
+
+  // Same pairs evaluated, different physics.
+  EXPECT_EQ(cortex_op.last_force_evaluations(),
+            hertz_op.last_force_evaluations());
+  bool any_differs = false;
+  for (size_t i = 0; i < rm.size(); ++i) {
+    if (cortex_op.displacements()[i] != hertz_op.displacements()[i]) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(ForceLawOpTest, HertzSimulationSeparatesOverlappingPair) {
+  ResourceManager rm;
+  NewAgentSpec a, b;
+  a.position = {50, 50, 50};
+  b.position = {56, 50, 50};
+  a.diameter = b.diameter = 10.0;
+  a.adherence = b.adherence = 0.001;
+  rm.AddAgent(std::move(a));
+  rm.AddAgent(std::move(b));
+  Param param;
+  UniformGridEnvironment env;
+  MechanicalForcesOp op(ForceLaw::kHertz);
+  for (int step = 0; step < 100; ++step) {
+    env.Update(rm, param, ExecMode::kSerial);
+    op.ComputeDisplacements(rm, env, param, ExecMode::kSerial);
+    op.ApplyDisplacements(rm, param, ExecMode::kSerial);
+  }
+  // Purely repulsive: separates toward contact (asymptotically — the
+  // Hertz force vanishes as delta^{3/2}, so the last fraction of overlap
+  // resolves slowly and the adherence gate stops the creep).
+  EXPECT_GE(Distance(rm.positions()[0], rm.positions()[1]), 9.8);
+}
+
+}  // namespace
+}  // namespace biosim

@@ -1,0 +1,132 @@
+#include "physics/interaction_force.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+
+namespace biosim {
+namespace {
+
+const ForceParams<double> kDefault{2.0, 1.0};  // kappa=2, gamma=1
+
+TEST(InteractionForceTest, NoContactNoForce) {
+  // Two radius-5 spheres, centers 11 apart: delta = -1.
+  Double3 f = SphereSphereForce<double>({0, 0, 0}, 5.0, {11, 0, 0}, 5.0,
+                                        kDefault);
+  EXPECT_EQ(f, (Double3{0, 0, 0}));
+}
+
+TEST(InteractionForceTest, TouchingExactlyNoForce) {
+  Double3 f = SphereSphereForce<double>({0, 0, 0}, 5.0, {10, 0, 0}, 5.0,
+                                        kDefault);
+  EXPECT_EQ(f, (Double3{0, 0, 0}));
+}
+
+TEST(InteractionForceTest, CoincidentCentersNoNaN) {
+  Double3 f = SphereSphereForce<double>({3, 3, 3}, 5.0, {3, 3, 3}, 5.0,
+                                        kDefault);
+  EXPECT_EQ(f, (Double3{0, 0, 0}));
+}
+
+TEST(InteractionForceTest, HandComputedOverlap) {
+  // r1 = r2 = 5, centers 8 apart along x:
+  //   delta = 10 - 8 = 2, reduced r = 25/10 = 2.5
+  //   |F| = kappa*2 - gamma*sqrt(2.5*2) = 4 - sqrt(5)
+  // directed from p2 to p1 (repulsion on sphere 1 at origin-side).
+  Double3 f = SphereSphereForce<double>({0, 0, 0}, 5.0, {8, 0, 0}, 5.0,
+                                        kDefault);
+  double expected = -(4.0 - std::sqrt(5.0));  // pushes sphere 1 to -x
+  EXPECT_NEAR(f.x, expected, 1e-12);
+  EXPECT_DOUBLE_EQ(f.y, 0.0);
+  EXPECT_DOUBLE_EQ(f.z, 0.0);
+}
+
+TEST(InteractionForceTest, DeepOverlapRepels) {
+  // Nearly concentric: strong repulsion dominates attraction.
+  Double3 f = SphereSphereForce<double>({0, 0, 0}, 5.0, {1, 0, 0}, 5.0,
+                                        kDefault);
+  EXPECT_LT(f.x, 0.0);  // sphere 1 pushed away from sphere 2 (toward -x)
+  EXPECT_GT(std::abs(f.x), 1.0);
+}
+
+TEST(InteractionForceTest, MildOverlapCanAttract) {
+  // Near touching, the adhesive gamma*sqrt(r*delta) term wins over
+  // kappa*delta (sqrt dominates for small delta): net attraction.
+  Double3 f = SphereSphereForce<double>({0, 0, 0}, 5.0, {9.9, 0, 0}, 5.0,
+                                        kDefault);
+  // magnitude = 2*0.1 - sqrt(2.5*0.1) = 0.2 - 0.5 = -0.3 -> pulls toward p2.
+  EXPECT_GT(f.x, 0.0);
+  EXPECT_NEAR(f.x, 0.3, 1e-9);
+}
+
+TEST(InteractionForceTest, NewtonsThirdLaw) {
+  Random rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    Double3 p1 = rng.UniformInCube(0, 10);
+    Double3 p2 = rng.UniformInCube(0, 10);
+    double r1 = rng.Uniform(2.0, 8.0);
+    double r2 = rng.Uniform(2.0, 8.0);
+    Double3 f12 = SphereSphereForce(p1, r1, p2, r2, kDefault);
+    Double3 f21 = SphereSphereForce(p2, r2, p1, r1, kDefault);
+    ASSERT_NEAR(f12.x, -f21.x, 1e-9);
+    ASSERT_NEAR(f12.y, -f21.y, 1e-9);
+    ASSERT_NEAR(f12.z, -f21.z, 1e-9);
+  }
+}
+
+TEST(InteractionForceTest, ForceIsCentral) {
+  // The force must be parallel to the center line.
+  Random rng(22);
+  for (int trial = 0; trial < 100; ++trial) {
+    Double3 p1 = rng.UniformInCube(0, 5);
+    Double3 p2 = rng.UniformInCube(0, 5);
+    Double3 f = SphereSphereForce(p1, 6.0, p2, 6.0, kDefault);
+    Double3 axis = p1 - p2;
+    ASSERT_LT(f.Cross(axis).Norm(), 1e-9 * (1.0 + f.Norm() * axis.Norm()));
+  }
+}
+
+TEST(InteractionForceTest, RotationInvariance) {
+  // Rotating both spheres by 90 deg about z rotates the force identically.
+  Double3 p1{1.0, 2.0, 3.0}, p2{4.0, 1.0, 2.5};
+  Double3 f = SphereSphereForce(p1, 4.0, p2, 4.0, kDefault);
+  auto rot = [](const Double3& v) { return Double3{-v.y, v.x, v.z}; };
+  Double3 fr = SphereSphereForce(rot(p1), 4.0, rot(p2), 4.0, kDefault);
+  EXPECT_NEAR(fr.x, rot(f).x, 1e-12);
+  EXPECT_NEAR(fr.y, rot(f).y, 1e-12);
+  EXPECT_NEAR(fr.z, rot(f).z, 1e-12);
+}
+
+TEST(InteractionForceTest, PureRepulsionWithZeroGamma) {
+  ForceParams<double> rep{2.0, 0.0};
+  Random rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    Double3 p2 = rng.UniformInCube(-4, 4);
+    Double3 f = SphereSphereForce<double>({0, 0, 0}, 5.0, p2, 5.0, rep);
+    // Force on sphere 1 points away from p2 (same direction as -p2).
+    ASSERT_LE(f.Dot(p2), 1e-12);
+  }
+}
+
+TEST(InteractionForceTest, Fp32MatchesFp64WithinTolerance) {
+  // Improvement I's premise: FP32 changes results far less than model
+  // parameter uncertainty.
+  Random rng(24);
+  ForceParams<float> kf{2.0f, 1.0f};
+  for (int trial = 0; trial < 500; ++trial) {
+    Double3 p1 = rng.UniformInCube(0, 100);
+    Double3 p2 = p1 + rng.UnitVector() * rng.Uniform(0.5, 12.0);
+    double r1 = rng.Uniform(3.0, 8.0), r2 = rng.Uniform(3.0, 8.0);
+    Double3 f64 = SphereSphereForce(p1, r1, p2, r2, kDefault);
+    Float3 f32 = SphereSphereForce<float>(
+        p1.As<float>(), static_cast<float>(r1), p2.As<float>(),
+        static_cast<float>(r2), kf);
+    double scale = std::max(1.0, f64.Norm());
+    ASSERT_NEAR(f32.x, f64.x, 1e-3 * scale);
+    ASSERT_NEAR(f32.y, f64.y, 1e-3 * scale);
+    ASSERT_NEAR(f32.z, f64.z, 1e-3 * scale);
+  }
+}
+
+}  // namespace
+}  // namespace biosim

@@ -1,0 +1,158 @@
+#include "physics/mechanical_forces_op.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "physics/interaction_force.h"
+#include "spatial/kd_tree.h"
+#include "spatial/uniform_grid.h"
+
+namespace biosim {
+namespace {
+
+class MechanicalForcesOpTest : public ::testing::Test {
+ protected:
+  void SetUpPair(double separation) {
+    NewAgentSpec a, b;
+    a.position = {50.0, 50.0, 50.0};
+    b.position = {50.0 + separation, 50.0, 50.0};
+    a.diameter = b.diameter = 10.0;
+    a.adherence = b.adherence = 0.001;  // negligible: everything moves
+    rm_.AddAgent(std::move(a));
+    rm_.AddAgent(std::move(b));
+  }
+
+  ResourceManager rm_;
+  Param param_;
+  UniformGridEnvironment env_;
+  MechanicalForcesOp op_;
+};
+
+TEST_F(MechanicalForcesOpTest, OverlappingPairPushesApart) {
+  SetUpPair(8.0);  // overlap of 2
+  env_.Update(rm_, param_, ExecMode::kSerial);
+  op_.ComputeDisplacements(rm_, env_, param_, ExecMode::kSerial);
+  const auto& d = op_.displacements();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_LT(d[0].x, 0.0);  // agent 0 moves -x
+  EXPECT_GT(d[1].x, 0.0);  // agent 1 moves +x
+  EXPECT_NEAR(d[0].x, -d[1].x, 1e-12);  // symmetric
+  EXPECT_NEAR(d[0].y, 0.0, 1e-15);
+}
+
+TEST_F(MechanicalForcesOpTest, DisplacementMatchesClosedForm) {
+  SetUpPair(8.0);
+  env_.Update(rm_, param_, ExecMode::kSerial);
+  op_.ComputeDisplacements(rm_, env_, param_, ExecMode::kSerial);
+  ForceParams<double> fp{param_.repulsion_coefficient,
+                         param_.attraction_coefficient};
+  Double3 f = SphereSphereForce<double>({50, 50, 50}, 5.0, {58, 50, 50}, 5.0, fp);
+  EXPECT_NEAR(op_.displacements()[0].x, f.x * param_.simulation_time_step,
+              1e-12);
+}
+
+TEST_F(MechanicalForcesOpTest, SeparatedPairDoesNotMove) {
+  SetUpPair(20.0);
+  env_.Update(rm_, param_, ExecMode::kSerial);
+  op_.ComputeDisplacements(rm_, env_, param_, ExecMode::kSerial);
+  EXPECT_EQ(op_.displacements()[0], (Double3{0, 0, 0}));
+  EXPECT_EQ(op_.displacements()[1], (Double3{0, 0, 0}));
+}
+
+TEST_F(MechanicalForcesOpTest, HighAdherenceFreezes) {
+  SetUpPair(8.0);
+  rm_.adherences()[0] = 1e9;
+  rm_.adherences()[1] = 1e9;
+  env_.Update(rm_, param_, ExecMode::kSerial);
+  op_.ComputeDisplacements(rm_, env_, param_, ExecMode::kSerial);
+  EXPECT_EQ(op_.displacements()[0], (Double3{0, 0, 0}));
+}
+
+TEST_F(MechanicalForcesOpTest, TractorForceMovesIsolatedAgent) {
+  NewAgentSpec a;
+  a.position = {50.0, 50.0, 50.0};
+  a.diameter = 10.0;
+  a.adherence = 0.001;
+  a.tractor_force = {5.0, 0.0, 0.0};
+  rm_.AddAgent(std::move(a));
+  env_.Update(rm_, param_, ExecMode::kSerial);
+  op_.ComputeDisplacements(rm_, env_, param_, ExecMode::kSerial);
+  EXPECT_NEAR(op_.displacements()[0].x, 5.0 * param_.simulation_time_step,
+              1e-12);
+}
+
+TEST_F(MechanicalForcesOpTest, ApplyDisplacementsMovesAndBounds) {
+  SetUpPair(8.0);
+  rm_.positions()[0] = {0.5, 50.0, 50.0};  // near the min bound
+  rm_.positions()[1] = {6.0, 50.0, 50.0};
+  env_.Update(rm_, param_, ExecMode::kSerial);
+  op_.ComputeDisplacements(rm_, env_, param_, ExecMode::kSerial);
+  op_.ApplyDisplacements(rm_, param_, ExecMode::kSerial);
+  EXPECT_GE(rm_.positions()[0].x, param_.min_bound);
+}
+
+TEST_F(MechanicalForcesOpTest, SerialAndParallelAgree) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 400, 0.0, 60.0, 10.0);
+  UniformGridEnvironment env;
+  env.Update(rm, param_, ExecMode::kSerial);
+  MechanicalForcesOp serial_op, parallel_op;
+  serial_op.ComputeDisplacements(rm, env, param_, ExecMode::kSerial);
+  parallel_op.ComputeDisplacements(rm, env, param_, ExecMode::kParallel);
+  for (size_t i = 0; i < rm.size(); ++i) {
+    // Same environment -> same per-agent neighbor iteration -> identical
+    // floating point results.
+    ASSERT_EQ(serial_op.displacements()[i], parallel_op.displacements()[i]);
+  }
+}
+
+TEST_F(MechanicalForcesOpTest, KdTreeAndGridGiveSameForces) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 300, 0.0, 50.0, 10.0);
+  KdTreeEnvironment kd;
+  UniformGridEnvironment ug;
+  kd.Update(rm, param_, ExecMode::kSerial);
+  ug.Update(rm, param_, ExecMode::kSerial);
+  MechanicalForcesOp kd_op, ug_op;
+  kd_op.ComputeDisplacements(rm, kd, param_, ExecMode::kSerial);
+  ug_op.ComputeDisplacements(rm, ug, param_, ExecMode::kSerial);
+  for (size_t i = 0; i < rm.size(); ++i) {
+    // Iteration order differs, so allow FP reassociation noise.
+    ASSERT_NEAR(kd_op.displacements()[i].x, ug_op.displacements()[i].x, 1e-9);
+    ASSERT_NEAR(kd_op.displacements()[i].y, ug_op.displacements()[i].y, 1e-9);
+    ASSERT_NEAR(kd_op.displacements()[i].z, ug_op.displacements()[i].z, 1e-9);
+  }
+}
+
+TEST_F(MechanicalForcesOpTest, ForceEvaluationCountMatchesNeighborCount) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 200, 0.0, 40.0, 10.0);
+  UniformGridEnvironment env;
+  env.Update(rm, param_, ExecMode::kSerial);
+  MechanicalForcesOp op;
+  op.ComputeDisplacements(rm, env, param_, ExecMode::kSerial);
+  size_t expected = 0;
+  for (AgentIndex q = 0; q < rm.size(); ++q) {
+    expected += testutil::BruteForceNeighbors(rm, q, env.interaction_radius())
+                    .size();
+  }
+  EXPECT_EQ(op.last_force_evaluations(), expected);
+}
+
+TEST_F(MechanicalForcesOpTest, ThreeBodySymmetricConfiguration) {
+  // Three overlapping cells on a line: the middle one feels balanced forces.
+  for (double x : {40.0, 48.0, 56.0}) {
+    NewAgentSpec s;
+    s.position = {x, 50.0, 50.0};
+    s.diameter = 10.0;
+    s.adherence = 0.001;
+    rm_.AddAgent(std::move(s));
+  }
+  env_.Update(rm_, param_, ExecMode::kSerial);
+  op_.ComputeDisplacements(rm_, env_, param_, ExecMode::kSerial);
+  EXPECT_NEAR(op_.displacements()[1].x, 0.0, 1e-12);  // middle balanced
+  EXPECT_NEAR(op_.displacements()[0].x, -op_.displacements()[2].x, 1e-12);
+}
+
+}  // namespace
+}  // namespace biosim

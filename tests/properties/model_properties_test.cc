@@ -1,0 +1,233 @@
+// Property sweeps (TEST_P) over the performance models: invariants that must
+// hold for *any* input, not just the calibrated benchmark points. These
+// guard the substitution layer (DESIGN.md §1): if a model violates basic
+// monotonicity or bounds, every projected figure is suspect.
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "gpusim/timing.h"
+#include "perfmodel/cpu_model.h"
+#include "physics/interaction_force.h"
+
+namespace biosim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// GPU timing model properties over random counter vectors.
+// ---------------------------------------------------------------------------
+
+struct TimingCase {
+  uint64_t seed;
+  const char* device;  // "1080ti" or "v100"
+};
+
+class TimingModelPropertyTest : public ::testing::TestWithParam<TimingCase> {
+ protected:
+  gpusim::DeviceSpec Spec() const {
+    return std::string(GetParam().device) == "v100"
+               ? gpusim::DeviceSpec::TeslaV100()
+               : gpusim::DeviceSpec::GTX1080Ti();
+  }
+
+  gpusim::KernelStats RandomStats(Random* rng) const {
+    gpusim::KernelStats st;
+    st.fp32_flops = rng->UniformInt(1'000'000'000);
+    st.fp64_flops = rng->UniformInt(100'000'000);
+    st.dram_read_bytes = rng->UniformInt(1'000'000'000);
+    st.dram_write_bytes = rng->UniformInt(100'000'000);
+    st.l2_read_hit_bytes = rng->UniformInt(1'000'000'000);
+    st.l1_read_hit_bytes = rng->UniformInt(1'000'000'000);
+    st.shared_bytes = rng->UniformInt(100'000'000);
+    st.read_transactions = st.dram_read_bytes / 128 + st.l2_read_hit_bytes / 128;
+    st.write_transactions = st.dram_write_bytes / 128;
+    st.atomic_serialized = rng->UniformInt(1'000'000);
+    st.lane_ops_sum = 1 + rng->UniformInt(1'000'000);
+    st.warp_ops_slots = st.lane_ops_sum + rng->UniformInt(1'000'000);
+    st.max_lane_mem_ops = rng->UniformInt(10'000);
+    st.total_threads = 1 + rng->UniformInt(10'000'000);
+    return st;
+  }
+};
+
+TEST_P(TimingModelPropertyTest, TotalBoundsEachComponent) {
+  Random rng(GetParam().seed);
+  for (int trial = 0; trial < 50; ++trial) {
+    gpusim::KernelStats st = RandomStats(&rng);
+    gpusim::ApplyTimingModel(Spec(), &st);
+    ASSERT_GE(st.total_ms,
+              st.launch_ms + st.compute_ms + st.atomic_ms - 1e-12);
+    ASSERT_GE(st.total_ms, st.memory_ms);
+    ASSERT_GE(st.total_ms, st.lsu_ms);
+    ASSERT_GE(st.total_ms, st.latency_ms);
+    ASSERT_GE(st.total_ms, 0.0);
+  }
+}
+
+TEST_P(TimingModelPropertyTest, MonotoneInEveryCounter) {
+  Random rng(GetParam().seed + 1);
+  for (int trial = 0; trial < 30; ++trial) {
+    gpusim::KernelStats base = RandomStats(&rng);
+    gpusim::ApplyTimingModel(Spec(), &base);
+
+    auto grows = [&](auto mutate) {
+      gpusim::KernelStats st = base;
+      mutate(&st);
+      gpusim::ApplyTimingModel(Spec(), &st);
+      ASSERT_GE(st.total_ms, base.total_ms - 1e-12);
+    };
+    grows([](gpusim::KernelStats* s) { s->dram_read_bytes *= 2; });
+    grows([](gpusim::KernelStats* s) { s->fp64_flops *= 2; });
+    grows([](gpusim::KernelStats* s) { s->atomic_serialized *= 2; });
+    grows([](gpusim::KernelStats* s) { s->read_transactions *= 2; });
+    grows([](gpusim::KernelStats* s) { s->max_lane_mem_ops *= 2; });
+  }
+}
+
+TEST_P(TimingModelPropertyTest, FasterDeviceNeverSlower) {
+  // The V100 dominates the 1080 Ti in every spec dimension, so any counter
+  // vector must run at least as fast on it.
+  Random rng(GetParam().seed + 2);
+  for (int trial = 0; trial < 30; ++trial) {
+    gpusim::KernelStats a = RandomStats(&rng);
+    gpusim::KernelStats b = a;
+    gpusim::ApplyTimingModel(gpusim::DeviceSpec::GTX1080Ti(), &a);
+    gpusim::ApplyTimingModel(gpusim::DeviceSpec::TeslaV100(), &b);
+    ASSERT_LE(b.total_ms, a.total_ms + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TimingModelPropertyTest,
+    ::testing::Values(TimingCase{1, "1080ti"}, TimingCase{2, "1080ti"},
+                      TimingCase{3, "v100"}, TimingCase{4, "v100"}),
+    [](const ::testing::TestParamInfo<TimingCase>& info) {
+      return std::string(info.param.device) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// CPU scaling model properties over workload-parameter sweeps.
+// ---------------------------------------------------------------------------
+
+struct CpuCase {
+  double parallel_fraction;
+  double bandwidth_bound_fraction;
+};
+
+class CpuModelPropertyTest : public ::testing::TestWithParam<CpuCase> {
+ protected:
+  perfmodel::WorkloadCharacter Workload() const {
+    perfmodel::WorkloadCharacter w;
+    w.parallel_fraction = GetParam().parallel_fraction;
+    w.bandwidth_bound_fraction = GetParam().bandwidth_bound_fraction;
+    return w;
+  }
+};
+
+TEST_P(CpuModelPropertyTest, SpeedupBoundedByThreadsAndAmdahl) {
+  for (const auto& spec : {perfmodel::CpuSpec::XeonE5_2640v4_x2(),
+                           perfmodel::CpuSpec::XeonGold6130_x2()}) {
+    perfmodel::CpuScalingModel m(spec, Workload());
+    for (int t : {2, 4, 8, 16, 32, 64}) {
+      double s = m.ProjectSpeedup(t);
+      ASSERT_GE(s, 1.0) << t;
+      ASSERT_LE(s, static_cast<double>(t) + 1e-9) << t;
+      double amdahl = 1.0 / (1.0 - Workload().parallel_fraction + 1e-12);
+      ASSERT_LE(s, amdahl + 1e-9) << t;
+    }
+  }
+}
+
+TEST_P(CpuModelPropertyTest, MonotoneNonIncreasingInThreads) {
+  perfmodel::CpuScalingModel m(perfmodel::CpuSpec::XeonGold6130_x2(),
+                               Workload());
+  double prev = m.ProjectMs(500.0, 1);
+  for (int t = 2; t <= 32; ++t) {
+    double cur = m.ProjectMs(500.0, t);
+    ASSERT_LE(cur, prev + 1e-9) << t << " threads";
+    prev = cur;
+  }
+}
+
+TEST_P(CpuModelPropertyTest, ProjectionIsLinearInSerialTime) {
+  perfmodel::CpuScalingModel m(perfmodel::CpuSpec::XeonE5_2640v4_x2(),
+                               Workload());
+  for (int t : {4, 20, 40}) {
+    double unit = m.ProjectMs(1.0, t);
+    ASSERT_NEAR(m.ProjectMs(123.0, t), 123.0 * unit, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadSweep, CpuModelPropertyTest,
+    ::testing::Values(CpuCase{0.5, 0.2}, CpuCase{0.85, 0.55},
+                      CpuCase{0.95, 0.65}, CpuCase{0.99, 0.9},
+                      CpuCase{0.7, 0.0}, CpuCase{0.9, 1.0}),
+    [](const ::testing::TestParamInfo<CpuCase>& info) {
+      return "par" +
+             std::to_string(static_cast<int>(info.param.parallel_fraction * 100)) +
+             "_bw" +
+             std::to_string(
+                 static_cast<int>(info.param.bandwidth_bound_fraction * 100));
+    });
+
+// ---------------------------------------------------------------------------
+// Force-law properties over coefficient sweeps.
+// ---------------------------------------------------------------------------
+
+struct ForceCase {
+  double kappa;
+  double gamma;
+};
+
+class ForcePropertyTest : public ::testing::TestWithParam<ForceCase> {};
+
+TEST_P(ForcePropertyTest, AntisymmetryHoldsForAllCoefficients) {
+  ForceParams<double> fp{GetParam().kappa, GetParam().gamma};
+  Random rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    Double3 p1 = rng.UniformInCube(0, 20);
+    Double3 p2 = rng.UniformInCube(0, 20);
+    double r1 = rng.Uniform(2, 9), r2 = rng.Uniform(2, 9);
+    Double3 f12 = SphereSphereForce(p1, r1, p2, r2, fp);
+    Double3 f21 = SphereSphereForce(p2, r2, p1, r1, fp);
+    ASSERT_LT((f12 + f21).Norm(), 1e-9);
+  }
+}
+
+TEST_P(ForcePropertyTest, RepulsionScalesWithKappaAtDeepOverlap) {
+  // At delta large the kappa term dominates: doubling kappa roughly doubles
+  // the repulsion for fixed geometry.
+  ForceParams<double> fp{GetParam().kappa, GetParam().gamma};
+  ForceParams<double> fp2{2.0 * GetParam().kappa, GetParam().gamma};
+  Double3 f1 = SphereSphereForce<double>({0, 0, 0}, 6.0, {2, 0, 0}, 6.0, fp);
+  Double3 f2 = SphereSphereForce<double>({0, 0, 0}, 6.0, {2, 0, 0}, 6.0, fp2);
+  // f = -kappa*delta + gamma*sqrt(..) in x<0 direction; kappa-part doubles.
+  double delta = 10.0;
+  ASSERT_NEAR(f2.x - f1.x, -GetParam().kappa * delta, 1e-9);
+}
+
+TEST_P(ForcePropertyTest, NoForceBeyondContactForAnyCoefficients) {
+  ForceParams<double> fp{GetParam().kappa, GetParam().gamma};
+  Random rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    double r1 = rng.Uniform(1, 8), r2 = rng.Uniform(1, 8);
+    Double3 dir = rng.UnitVector();
+    Double3 p2 = dir * (r1 + r2 + rng.Uniform(0.001, 10.0));
+    ASSERT_EQ(SphereSphereForce<double>({0, 0, 0}, r1, p2, r2, fp),
+              (Double3{0, 0, 0}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoefficientSweep, ForcePropertyTest,
+    ::testing::Values(ForceCase{2.0, 1.0}, ForceCase{1.0, 0.0},
+                      ForceCase{0.0, 1.0}, ForceCase{10.0, 3.0},
+                      ForceCase{0.5, 2.0}),
+    [](const ::testing::TestParamInfo<ForceCase>& info) {
+      return "k" + std::to_string(static_cast<int>(info.param.kappa * 10)) +
+             "_g" + std::to_string(static_cast<int>(info.param.gamma * 10));
+    });
+
+}  // namespace
+}  // namespace biosim

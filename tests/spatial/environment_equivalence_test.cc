@@ -1,0 +1,117 @@
+// Property sweep: the kd-tree and the uniform grid are interchangeable
+// implementations of the same Environment contract, across densities,
+// population sizes, and agent layouts. This is the invariant the paper's
+// swap (Section IV-A) rests on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "../test_util.h"
+#include "spatial/kd_tree.h"
+#include "spatial/uniform_grid.h"
+#include "spatial/zorder_sort.h"
+
+namespace biosim {
+namespace {
+
+struct Scenario {
+  size_t num_agents;
+  double space;     // cube edge
+  double diameter;  // == interaction radius
+  uint64_t seed;
+};
+
+class EnvironmentEquivalenceTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(EnvironmentEquivalenceTest, KdTreeEqualsUniformGridEqualsBruteForce) {
+  const Scenario& sc = GetParam();
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, sc.num_agents, 0.0, sc.space, sc.diameter,
+                            sc.seed);
+  Param param;
+  KdTreeEnvironment kd;
+  UniformGridEnvironment ug;
+  kd.Update(rm, param, ExecMode::kSerial);
+  ug.Update(rm, param, ExecMode::kParallel);
+  ASSERT_DOUBLE_EQ(kd.interaction_radius(), ug.interaction_radius());
+  double r = kd.interaction_radius();
+
+  size_t stride = std::max<size_t>(1, rm.size() / 50);
+  for (AgentIndex q = 0; q < rm.size(); q += stride) {
+    auto expected = testutil::BruteForceNeighbors(rm, q, r);
+    EXPECT_EQ(testutil::CollectNeighbors(kd, rm, q, r), expected)
+        << "kd-tree query " << q;
+    EXPECT_EQ(testutil::CollectNeighbors(ug, rm, q, r), expected)
+        << "uniform-grid query " << q;
+  }
+}
+
+TEST_P(EnvironmentEquivalenceTest, NeighborSetsSurviveZOrderSorting) {
+  // Sorting permutes rows; the *set of neighbor UIDs* per agent UID must be
+  // unchanged.
+  const Scenario& sc = GetParam();
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, sc.num_agents, 0.0, sc.space, sc.diameter,
+                            sc.seed);
+  Param param;
+  UniformGridEnvironment ug;
+  ug.Update(rm, param, ExecMode::kSerial);
+  double r = ug.interaction_radius();
+
+  // Record neighbor UID sets before sorting.
+  std::map<AgentUid, std::set<AgentUid>> before;
+  for (AgentIndex q = 0; q < rm.size(); ++q) {
+    std::set<AgentUid>& s = before[rm.uids()[q]];
+    ug.ForEachNeighborWithinRadius(
+        q, rm, r, [&](AgentIndex j, double) { s.insert(rm.uids()[j]); });
+  }
+
+  SortAgentsByZOrder(rm, r);
+  ug.Update(rm, param, ExecMode::kSerial);
+  for (AgentIndex q = 0; q < rm.size(); ++q) {
+    std::set<AgentUid> s;
+    ug.ForEachNeighborWithinRadius(
+        q, rm, r, [&](AgentIndex j, double) { s.insert(rm.uids()[j]); });
+    EXPECT_EQ(s, before[rm.uids()[q]]) << "uid " << rm.uids()[q];
+  }
+}
+
+TEST_P(EnvironmentEquivalenceTest, ReportedDistancesAreExact) {
+  const Scenario& sc = GetParam();
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, sc.num_agents, 0.0, sc.space, sc.diameter,
+                            sc.seed);
+  Param param;
+  UniformGridEnvironment ug;
+  ug.Update(rm, param, ExecMode::kSerial);
+  double r = ug.interaction_radius();
+  size_t stride = std::max<size_t>(1, rm.size() / 20);
+  for (AgentIndex q = 0; q < rm.size(); q += stride) {
+    ug.ForEachNeighborWithinRadius(q, rm, r, [&](AgentIndex j, double d2) {
+      EXPECT_DOUBLE_EQ(
+          d2, SquaredDistance(rm.positions()[q], rm.positions()[j]));
+      EXPECT_LE(d2, r * r);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitySweep, EnvironmentEquivalenceTest,
+    ::testing::Values(
+        Scenario{100, 200.0, 10.0, 1},   // sparse: ~0 neighbors
+        Scenario{500, 100.0, 10.0, 2},   // moderate
+        Scenario{500, 40.0, 10.0, 3},    // dense: tens of neighbors
+        Scenario{1000, 25.0, 10.0, 4},   // very dense
+        Scenario{64, 10.0, 10.0, 5},     // everyone neighbors everyone
+        Scenario{300, 100.0, 3.0, 6},    // small radius
+        Scenario{300, 100.0, 33.3, 7}),  // radius ~ space/3
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return "n" + std::to_string(info.param.num_agents) + "_space" +
+             std::to_string(static_cast<int>(info.param.space)) + "_d" +
+             std::to_string(static_cast<int>(info.param.diameter));
+    });
+
+}  // namespace
+}  // namespace biosim

@@ -1,0 +1,105 @@
+#include "spatial/morton.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+
+namespace biosim {
+namespace {
+
+TEST(MortonTest, SpreadCompactRoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 2ull, 0xABCDEull, 0x1FFFFFull}) {
+    EXPECT_EQ(MortonCompactBits(MortonSpreadBits(v)), v & 0x1FFFFF);
+  }
+}
+
+TEST(MortonTest, SpreadPlacesBitsThreeApart) {
+  // bit i of input -> bit 3i of output
+  for (int i = 0; i < 21; ++i) {
+    EXPECT_EQ(MortonSpreadBits(uint64_t{1} << i), uint64_t{1} << (3 * i));
+  }
+}
+
+TEST(MortonTest, KnownInterleavings) {
+  EXPECT_EQ(MortonEncode(0, 0, 0), 0u);
+  EXPECT_EQ(MortonEncode(1, 0, 0), 0b001u);
+  EXPECT_EQ(MortonEncode(0, 1, 0), 0b010u);
+  EXPECT_EQ(MortonEncode(0, 0, 1), 0b100u);
+  EXPECT_EQ(MortonEncode(1, 1, 1), 0b111u);
+  EXPECT_EQ(MortonEncode(2, 0, 0), 0b001000u);
+  EXPECT_EQ(MortonEncode(3, 5, 7), 0b110101111u);  // x=011,y=101,z=111
+}
+
+TEST(MortonTest, EncodeDecodeRoundTripRandom) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t x = static_cast<uint32_t>(rng.UniformInt(1u << 21));
+    uint32_t y = static_cast<uint32_t>(rng.UniformInt(1u << 21));
+    uint32_t z = static_cast<uint32_t>(rng.UniformInt(1u << 21));
+    uint32_t dx, dy, dz;
+    MortonDecode(MortonEncode(x, y, z), &dx, &dy, &dz);
+    ASSERT_EQ(dx, x);
+    ASSERT_EQ(dy, y);
+    ASSERT_EQ(dz, z);
+  }
+}
+
+TEST(MortonTest, ZOrderIsMonotonicAlongEachAxis) {
+  // Increasing one coordinate (others fixed) must increase the Z-value.
+  for (uint32_t base : {0u, 5u, 100u, 4000u}) {
+    EXPECT_LT(MortonEncode(base, 7, 9), MortonEncode(base + 1, 7, 9));
+    EXPECT_LT(MortonEncode(7, base, 9), MortonEncode(7, base + 1, 9));
+    EXPECT_LT(MortonEncode(7, 9, base), MortonEncode(7, 9, base + 1));
+  }
+}
+
+TEST(MortonTest, PositionEncodingQuantizes) {
+  Double3 origin{0.0, 0.0, 0.0};
+  // Same cell -> same key.
+  EXPECT_EQ(MortonEncodePosition({1.0, 2.0, 3.0}, origin, 10.0),
+            MortonEncodePosition({9.0, 2.0, 3.0}, origin, 10.0));
+  // Next cell in x -> larger key with y=z=0 cells.
+  EXPECT_LT(MortonEncodePosition({1.0, 1.0, 1.0}, origin, 10.0),
+            MortonEncodePosition({11.0, 1.0, 1.0}, origin, 10.0));
+}
+
+TEST(MortonTest, PositionEncodingClampsBelowOrigin) {
+  Double3 origin{10.0, 10.0, 10.0};
+  // Slightly below the origin must clamp to bin 0, not wrap around.
+  EXPECT_EQ(MortonEncodePosition({9.999, 10.5, 10.5}, origin, 1.0),
+            MortonEncodePosition({10.0, 10.5, 10.5}, origin, 1.0));
+}
+
+TEST(MortonTest, LocalityBeatsRowMajorOrder) {
+  // The defining property of the curve: consecutive Z-order indices are
+  // spatially closer on average than consecutive row-major indices.
+  const uint32_t n = 16;
+  auto row_major_pos = [&](uint32_t idx) {
+    return Double3{static_cast<double>(idx % n),
+                   static_cast<double>((idx / n) % n),
+                   static_cast<double>(idx / (n * n))};
+  };
+  // Build the inverse Z-order: sorted list of (code, (x,y,z)).
+  std::vector<std::pair<uint64_t, Double3>> cells;
+  for (uint32_t x = 0; x < n; ++x) {
+    for (uint32_t y = 0; y < n; ++y) {
+      for (uint32_t z = 0; z < n; ++z) {
+        cells.push_back({MortonEncode(x, y, z),
+                         Double3{static_cast<double>(x), static_cast<double>(y),
+                                 static_cast<double>(z)}});
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  double z_dist = 0.0, rm_dist = 0.0;
+  for (uint32_t i = 1; i < n * n * n; ++i) {
+    z_dist += Distance(cells[i].second, cells[i - 1].second);
+    rm_dist += Distance(row_major_pos(i), row_major_pos(i - 1));
+  }
+  EXPECT_LT(z_dist, rm_dist);
+}
+
+}  // namespace
+}  // namespace biosim

@@ -1,0 +1,181 @@
+#include "spatial/uniform_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.h"
+
+namespace biosim {
+namespace {
+
+TEST(UniformGridTest, BoxLengthIsInteractionRadius) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 50, 0.0, 100.0, 12.0);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  EXPECT_DOUBLE_EQ(env.box_length(), 12.0);
+  EXPECT_DOUBLE_EQ(env.interaction_radius(), 12.0);
+}
+
+TEST(UniformGridTest, FixedBoxLengthOverrides) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 50, 0.0, 100.0, 12.0);
+  Param param;
+  UniformGridEnvironment env(/*fixed_box_length=*/25.0);
+  env.Update(rm, param, ExecMode::kSerial);
+  EXPECT_DOUBLE_EQ(env.box_length(), 25.0);
+}
+
+TEST(UniformGridTest, EveryAgentIsInItsBoxChain) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 200, 0.0, 50.0, 8.0);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+
+  // Walk all box chains and check each agent appears exactly once, in the
+  // box its position maps to.
+  std::set<int32_t> seen;
+  size_t total = 0;
+  for (size_t b = 0; b < env.total_boxes(); ++b) {
+    size_t chain_len = 0;
+    for (int32_t j = env.box_start(b); j != UniformGridEnvironment::kEmpty;
+         j = env.successors()[j]) {
+      EXPECT_TRUE(seen.insert(j).second) << "agent " << j << " linked twice";
+      EXPECT_EQ(env.BoxIndexOf(rm.positions()[j]), b);
+      ++chain_len;
+      ++total;
+    }
+    EXPECT_EQ(static_cast<int32_t>(chain_len), env.box_count(b));
+  }
+  EXPECT_EQ(total, rm.size());
+}
+
+TEST(UniformGridTest, ParallelBuildFindsSameSets) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 300, 0.0, 60.0, 10.0);
+  Param param;
+  UniformGridEnvironment serial, parallel;
+  serial.Update(rm, param, ExecMode::kSerial);
+  parallel.Update(rm, param, ExecMode::kParallel);
+  double r = serial.interaction_radius();
+  for (AgentIndex q = 0; q < rm.size(); q += 17) {
+    EXPECT_EQ(testutil::CollectNeighbors(serial, rm, q, r),
+              testutil::CollectNeighbors(parallel, rm, q, r));
+  }
+}
+
+TEST(UniformGridTest, MatchesBruteForceOnRandomCloud) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 500, 0.0, 100.0, 10.0, /*seed=*/99);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  double radius = env.interaction_radius();
+  for (AgentIndex q = 0; q < rm.size(); q += 11) {
+    EXPECT_EQ(testutil::CollectNeighbors(env, rm, q, radius),
+              testutil::BruteForceNeighbors(rm, q, radius))
+        << "query " << q;
+  }
+}
+
+TEST(UniformGridTest, SmallerQueryRadiusFiltersCorrectly) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 300, 0.0, 40.0, 10.0);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  // Query at half the box length must still be exact.
+  for (AgentIndex q = 0; q < rm.size(); q += 23) {
+    EXPECT_EQ(testutil::CollectNeighbors(env, rm, q, 5.0),
+              testutil::BruteForceNeighbors(rm, q, 5.0));
+  }
+}
+
+TEST(UniformGridTest, AgentsOnDomainFaces) {
+  // Agents exactly on the grid's min/max corners exercise the clamping.
+  ResourceManager rm;
+  for (double x : {0.0, 100.0}) {
+    for (double y : {0.0, 100.0}) {
+      for (double z : {0.0, 100.0}) {
+        NewAgentSpec s;
+        s.position = {x, y, z};
+        s.diameter = 10.0;
+        rm.AddAgent(std::move(s));
+      }
+    }
+  }
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  for (AgentIndex q = 0; q < rm.size(); ++q) {
+    EXPECT_EQ(testutil::CollectNeighbors(env, rm, q, 10.0),
+              testutil::BruteForceNeighbors(rm, q, 10.0));
+  }
+}
+
+TEST(UniformGridTest, DenseClusterInOneBox) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 64, 10.0, 11.0, 10.0);  // all in one box
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  auto n = testutil::CollectNeighbors(env, rm, 0, env.interaction_radius());
+  EXPECT_EQ(n.size(), 63u);
+}
+
+TEST(UniformGridTest, MeanNeighborCountOnLattice) {
+  // 5x5x5 lattice with spacing 10 and diameter 10: interior agents have
+  // exactly 6 face neighbors at distance 10 == radius.
+  ResourceManager rm;
+  for (int x = 0; x < 5; ++x) {
+    for (int y = 0; y < 5; ++y) {
+      for (int z = 0; z < 5; ++z) {
+        NewAgentSpec s;
+        s.position = {x * 10.0, y * 10.0, z * 10.0};
+        s.diameter = 10.0;
+        rm.AddAgent(std::move(s));
+      }
+    }
+  }
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  // Center agent: 6 face neighbors within radius 10 (diagonals are at 14.1).
+  AgentIndex center = 2 * 25 + 2 * 5 + 2;
+  EXPECT_EQ(
+      testutil::CollectNeighbors(env, rm, center, env.interaction_radius())
+          .size(),
+      6u);
+  double mean = env.MeanNeighborCount(rm);
+  EXPECT_GT(mean, 4.0);  // boundary agents pull the mean below 6
+  EXPECT_LT(mean, 6.0);
+}
+
+TEST(UniformGridTest, UpdateAfterGrowthResizesBoxes) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 20, 0.0, 50.0, 8.0);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  EXPECT_DOUBLE_EQ(env.box_length(), 8.0);
+  rm.diameters()[3] = 16.0;
+  env.Update(rm, param, ExecMode::kSerial);
+  EXPECT_DOUBLE_EQ(env.box_length(), 16.0);
+}
+
+TEST(UniformGridTest, MeanAgentsPerBoxDiagnostic) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 1000, 0.0, 100.0, 10.0);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  // 1000 agents over 10x10x10 boxes: about 1 agent per box.
+  EXPECT_GT(env.MeanAgentsPerBox(), 0.9);
+  EXPECT_LT(env.MeanAgentsPerBox(), 2.5);
+}
+
+}  // namespace
+}  // namespace biosim

@@ -1,0 +1,62 @@
+// biosim_run: config-driven simulation runner.
+//
+//   biosim_run <config.ini> [--steps N] [--print-config]
+//
+// See src/app/config.h for the config format; examples/configs/ ships
+// ready-to-run files. Exit code 0 on success, 1 on any error (message on
+// stderr).
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "app/config.h"
+#include "app/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace biosim::app;
+
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <config.ini> [--steps N] [--print-config]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  try {
+    RunConfig cfg = ParseConfigFile(argv[1]);
+    bool print_config = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+        cfg.steps = static_cast<uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--print-config") == 0) {
+        print_config = true;
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+        return 1;
+      }
+    }
+    cfg.Validate();
+
+    if (print_config) {
+      std::printf(
+          "model=%s backend=%s steps=%llu seed=%llu\n", cfg.model_type.c_str(),
+          cfg.backend_type.c_str(),
+          static_cast<unsigned long long>(cfg.steps),
+          static_cast<unsigned long long>(cfg.seed));
+    }
+
+    RunSummary s = ExecuteRun(cfg);
+    std::printf("agents: %zu -> %zu in %llu steps, wall %.1f ms",
+                s.initial_agents, s.final_agents,
+                static_cast<unsigned long long>(cfg.steps), s.wall_ms);
+    if (s.gpu_simulated_ms > 0.0) {
+      std::printf(", simulated GPU %.3f ms", s.gpu_simulated_ms);
+    }
+    std::printf("\n\n%s", s.profile.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
