@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fig11_benchmark_b.dir/bench_fig10_fig11_benchmark_b.cc.o"
+  "CMakeFiles/bench_fig10_fig11_benchmark_b.dir/bench_fig10_fig11_benchmark_b.cc.o.d"
+  "bench_fig10_fig11_benchmark_b"
+  "bench_fig10_fig11_benchmark_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fig11_benchmark_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_diffusion.dir/micro/bench_micro_diffusion.cc.o"
+  "CMakeFiles/bench_micro_diffusion.dir/micro/bench_micro_diffusion.cc.o.d"
+  "bench_micro_diffusion"
+  "bench_micro_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

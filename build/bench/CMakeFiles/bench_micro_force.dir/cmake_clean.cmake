@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_force.dir/micro/bench_micro_force.cc.o"
+  "CMakeFiles/bench_micro_force.dir/micro/bench_micro_force.cc.o.d"
+  "bench_micro_force"
+  "bench_micro_force.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_force.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_memmodel.dir/micro/bench_micro_memmodel.cc.o"
+  "CMakeFiles/bench_micro_memmodel.dir/micro/bench_micro_memmodel.cc.o.d"
+  "bench_micro_memmodel"
+  "bench_micro_memmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

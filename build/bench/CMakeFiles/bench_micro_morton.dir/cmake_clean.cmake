@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_morton.dir/micro/bench_micro_morton.cc.o"
+  "CMakeFiles/bench_micro_morton.dir/micro/bench_micro_morton.cc.o.d"
+  "bench_micro_morton"
+  "bench_micro_morton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_morton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

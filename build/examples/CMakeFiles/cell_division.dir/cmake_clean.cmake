@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_division.dir/cell_division.cpp.o"
+  "CMakeFiles/cell_division.dir/cell_division.cpp.o.d"
+  "cell_division"
+  "cell_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

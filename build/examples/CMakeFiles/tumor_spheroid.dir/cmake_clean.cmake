@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tumor_spheroid.dir/tumor_spheroid.cpp.o"
+  "CMakeFiles/tumor_spheroid.dir/tumor_spheroid.cpp.o.d"
+  "tumor_spheroid"
+  "tumor_spheroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tumor_spheroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

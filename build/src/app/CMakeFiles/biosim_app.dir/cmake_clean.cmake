@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_app.dir/config.cc.o"
+  "CMakeFiles/biosim_app.dir/config.cc.o.d"
+  "CMakeFiles/biosim_app.dir/runner.cc.o"
+  "CMakeFiles/biosim_app.dir/runner.cc.o.d"
+  "libbiosim_app.a"
+  "libbiosim_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

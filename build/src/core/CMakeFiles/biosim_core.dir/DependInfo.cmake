@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cell.cc" "src/core/CMakeFiles/biosim_core.dir/cell.cc.o" "gcc" "src/core/CMakeFiles/biosim_core.dir/cell.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/biosim_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/biosim_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/core/CMakeFiles/biosim_core.dir/export.cc.o" "gcc" "src/core/CMakeFiles/biosim_core.dir/export.cc.o.d"
+  "/root/repo/src/core/resource_manager.cc" "src/core/CMakeFiles/biosim_core.dir/resource_manager.cc.o" "gcc" "src/core/CMakeFiles/biosim_core.dir/resource_manager.cc.o.d"
+  "/root/repo/src/core/statistics.cc" "src/core/CMakeFiles/biosim_core.dir/statistics.cc.o" "gcc" "src/core/CMakeFiles/biosim_core.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_core.dir/cell.cc.o"
+  "CMakeFiles/biosim_core.dir/cell.cc.o.d"
+  "CMakeFiles/biosim_core.dir/checkpoint.cc.o"
+  "CMakeFiles/biosim_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/biosim_core.dir/export.cc.o"
+  "CMakeFiles/biosim_core.dir/export.cc.o.d"
+  "CMakeFiles/biosim_core.dir/resource_manager.cc.o"
+  "CMakeFiles/biosim_core.dir/resource_manager.cc.o.d"
+  "CMakeFiles/biosim_core.dir/statistics.cc.o"
+  "CMakeFiles/biosim_core.dir/statistics.cc.o.d"
+  "libbiosim_core.a"
+  "libbiosim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_engine.dir/simulation.cc.o"
+  "CMakeFiles/biosim_engine.dir/simulation.cc.o.d"
+  "CMakeFiles/biosim_engine.dir/timeseries.cc.o"
+  "CMakeFiles/biosim_engine.dir/timeseries.cc.o.d"
+  "libbiosim_engine.a"
+  "libbiosim_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_diffusion.dir/diffusion_grid.cc.o"
+  "CMakeFiles/biosim_diffusion.dir/diffusion_grid.cc.o.d"
+  "libbiosim_diffusion.a"
+  "libbiosim_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

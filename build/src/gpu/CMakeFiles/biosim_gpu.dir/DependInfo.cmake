@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/device_sort.cc" "src/gpu/CMakeFiles/biosim_gpu.dir/device_sort.cc.o" "gcc" "src/gpu/CMakeFiles/biosim_gpu.dir/device_sort.cc.o.d"
+  "/root/repo/src/gpu/gpu_mechanical_op.cc" "src/gpu/CMakeFiles/biosim_gpu.dir/gpu_mechanical_op.cc.o" "gcc" "src/gpu/CMakeFiles/biosim_gpu.dir/gpu_mechanical_op.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/biosim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/biosim_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/biosim_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/biosim_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

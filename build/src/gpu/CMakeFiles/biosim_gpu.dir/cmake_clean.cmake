@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_gpu.dir/device_sort.cc.o"
+  "CMakeFiles/biosim_gpu.dir/device_sort.cc.o.d"
+  "CMakeFiles/biosim_gpu.dir/gpu_mechanical_op.cc.o"
+  "CMakeFiles/biosim_gpu.dir/gpu_mechanical_op.cc.o.d"
+  "libbiosim_gpu.a"
+  "libbiosim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_gpusim.dir/device.cc.o"
+  "CMakeFiles/biosim_gpusim.dir/device.cc.o.d"
+  "libbiosim_gpusim.a"
+  "libbiosim_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_physics.dir/mechanical_forces_op.cc.o"
+  "CMakeFiles/biosim_physics.dir/mechanical_forces_op.cc.o.d"
+  "libbiosim_physics.a"
+  "libbiosim_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbiosim_physics.a"
+)

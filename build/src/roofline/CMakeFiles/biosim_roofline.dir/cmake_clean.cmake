@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_roofline.dir/ert.cc.o"
+  "CMakeFiles/biosim_roofline.dir/ert.cc.o.d"
+  "libbiosim_roofline.a"
+  "libbiosim_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatial/kd_tree.cc" "src/spatial/CMakeFiles/biosim_spatial.dir/kd_tree.cc.o" "gcc" "src/spatial/CMakeFiles/biosim_spatial.dir/kd_tree.cc.o.d"
+  "/root/repo/src/spatial/uniform_grid.cc" "src/spatial/CMakeFiles/biosim_spatial.dir/uniform_grid.cc.o" "gcc" "src/spatial/CMakeFiles/biosim_spatial.dir/uniform_grid.cc.o.d"
+  "/root/repo/src/spatial/zorder_sort.cc" "src/spatial/CMakeFiles/biosim_spatial.dir/zorder_sort.cc.o" "gcc" "src/spatial/CMakeFiles/biosim_spatial.dir/zorder_sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/biosim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

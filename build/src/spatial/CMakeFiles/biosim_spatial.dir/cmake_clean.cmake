@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_spatial.dir/kd_tree.cc.o"
+  "CMakeFiles/biosim_spatial.dir/kd_tree.cc.o.d"
+  "CMakeFiles/biosim_spatial.dir/uniform_grid.cc.o"
+  "CMakeFiles/biosim_spatial.dir/uniform_grid.cc.o.d"
+  "CMakeFiles/biosim_spatial.dir/zorder_sort.cc.o"
+  "CMakeFiles/biosim_spatial.dir/zorder_sort.cc.o.d"
+  "libbiosim_spatial.a"
+  "libbiosim_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

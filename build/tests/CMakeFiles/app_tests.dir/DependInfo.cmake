@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/config_test.cc" "tests/CMakeFiles/app_tests.dir/app/config_test.cc.o" "gcc" "tests/CMakeFiles/app_tests.dir/app/config_test.cc.o.d"
+  "/root/repo/tests/app/runner_test.cc" "tests/CMakeFiles/app_tests.dir/app/runner_test.cc.o" "gcc" "tests/CMakeFiles/app_tests.dir/app/runner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roofline/CMakeFiles/biosim_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/biosim_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/biosim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/biosim_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/biosim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/biosim_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/biosim_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/biosim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/biosim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_tests.dir/app/config_test.cc.o"
+  "CMakeFiles/app_tests.dir/app/config_test.cc.o.d"
+  "CMakeFiles/app_tests.dir/app/runner_test.cc.o"
+  "CMakeFiles/app_tests.dir/app/runner_test.cc.o.d"
+  "app_tests"
+  "app_tests.pdb"
+  "app_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

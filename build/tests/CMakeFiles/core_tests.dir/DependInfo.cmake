@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/behaviors_test.cc" "tests/CMakeFiles/core_tests.dir/core/behaviors_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/behaviors_test.cc.o.d"
+  "/root/repo/tests/core/cell_test.cc" "tests/CMakeFiles/core_tests.dir/core/cell_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cell_test.cc.o.d"
+  "/root/repo/tests/core/checkpoint_test.cc" "tests/CMakeFiles/core_tests.dir/core/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/checkpoint_test.cc.o.d"
+  "/root/repo/tests/core/export_test.cc" "tests/CMakeFiles/core_tests.dir/core/export_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/export_test.cc.o.d"
+  "/root/repo/tests/core/math_test.cc" "tests/CMakeFiles/core_tests.dir/core/math_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/math_test.cc.o.d"
+  "/root/repo/tests/core/param_test.cc" "tests/CMakeFiles/core_tests.dir/core/param_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/param_test.cc.o.d"
+  "/root/repo/tests/core/profiler_test.cc" "tests/CMakeFiles/core_tests.dir/core/profiler_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/profiler_test.cc.o.d"
+  "/root/repo/tests/core/random_test.cc" "tests/CMakeFiles/core_tests.dir/core/random_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/random_test.cc.o.d"
+  "/root/repo/tests/core/resource_manager_test.cc" "tests/CMakeFiles/core_tests.dir/core/resource_manager_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/resource_manager_test.cc.o.d"
+  "/root/repo/tests/core/statistics_test.cc" "tests/CMakeFiles/core_tests.dir/core/statistics_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/statistics_test.cc.o.d"
+  "/root/repo/tests/core/thread_pool_test.cc" "tests/CMakeFiles/core_tests.dir/core/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/thread_pool_test.cc.o.d"
+  "/root/repo/tests/core/timeseries_test.cc" "tests/CMakeFiles/core_tests.dir/core/timeseries_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/timeseries_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roofline/CMakeFiles/biosim_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/biosim_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/biosim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/biosim_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/biosim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/biosim_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/biosim_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/biosim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/biosim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

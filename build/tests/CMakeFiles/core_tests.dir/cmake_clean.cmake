@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/behaviors_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/behaviors_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/cell_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/cell_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/checkpoint_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/checkpoint_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/export_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/export_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/math_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/math_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/param_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/param_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/profiler_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/profiler_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/random_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/random_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/resource_manager_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/resource_manager_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/statistics_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/statistics_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/thread_pool_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/thread_pool_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/timeseries_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/timeseries_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

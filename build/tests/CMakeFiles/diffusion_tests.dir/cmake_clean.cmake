@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_tests.dir/diffusion/diffusion_grid_test.cc.o"
+  "CMakeFiles/diffusion_tests.dir/diffusion/diffusion_grid_test.cc.o.d"
+  "diffusion_tests"
+  "diffusion_tests.pdb"
+  "diffusion_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

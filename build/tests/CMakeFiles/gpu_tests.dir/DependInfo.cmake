@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gpu/device_sort_test.cc" "tests/CMakeFiles/gpu_tests.dir/gpu/device_sort_test.cc.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/device_sort_test.cc.o.d"
+  "/root/repo/tests/gpu/gpu_equivalence_test.cc" "tests/CMakeFiles/gpu_tests.dir/gpu/gpu_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/gpu_equivalence_test.cc.o.d"
+  "/root/repo/tests/gpu/gpu_options_test.cc" "tests/CMakeFiles/gpu_tests.dir/gpu/gpu_options_test.cc.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/gpu_options_test.cc.o.d"
+  "/root/repo/tests/gpu/gpu_versions_test.cc" "tests/CMakeFiles/gpu_tests.dir/gpu/gpu_versions_test.cc.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/gpu_versions_test.cc.o.d"
+  "/root/repo/tests/gpu/grid_build_test.cc" "tests/CMakeFiles/gpu_tests.dir/gpu/grid_build_test.cc.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/grid_build_test.cc.o.d"
+  "/root/repo/tests/gpu/neighbor_parallel_test.cc" "tests/CMakeFiles/gpu_tests.dir/gpu/neighbor_parallel_test.cc.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/neighbor_parallel_test.cc.o.d"
+  "/root/repo/tests/gpu/persistent_state_test.cc" "tests/CMakeFiles/gpu_tests.dir/gpu/persistent_state_test.cc.o" "gcc" "tests/CMakeFiles/gpu_tests.dir/gpu/persistent_state_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roofline/CMakeFiles/biosim_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/biosim_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/biosim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/biosim_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/biosim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/biosim_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/biosim_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/biosim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/biosim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

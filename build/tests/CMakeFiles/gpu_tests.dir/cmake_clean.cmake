@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_tests.dir/gpu/device_sort_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/device_sort_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/gpu_equivalence_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/gpu_equivalence_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/gpu_options_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/gpu_options_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/gpu_versions_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/gpu_versions_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/grid_build_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/grid_build_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/neighbor_parallel_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/neighbor_parallel_test.cc.o.d"
+  "CMakeFiles/gpu_tests.dir/gpu/persistent_state_test.cc.o"
+  "CMakeFiles/gpu_tests.dir/gpu/persistent_state_test.cc.o.d"
+  "gpu_tests"
+  "gpu_tests.pdb"
+  "gpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

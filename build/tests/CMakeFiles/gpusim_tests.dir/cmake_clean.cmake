@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpusim_tests.dir/gpusim/device_buffer_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/device_buffer_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/frontend_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/frontend_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/l2_cache_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/l2_cache_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/latency_model_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/latency_model_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/memory_model_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/memory_model_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/simt_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/simt_test.cc.o.d"
+  "CMakeFiles/gpusim_tests.dir/gpusim/timing_test.cc.o"
+  "CMakeFiles/gpusim_tests.dir/gpusim/timing_test.cc.o.d"
+  "gpusim_tests"
+  "gpusim_tests.pdb"
+  "gpusim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpusim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physics_tests.dir/physics/displacement_test.cc.o"
+  "CMakeFiles/physics_tests.dir/physics/displacement_test.cc.o.d"
+  "CMakeFiles/physics_tests.dir/physics/force_law_test.cc.o"
+  "CMakeFiles/physics_tests.dir/physics/force_law_test.cc.o.d"
+  "CMakeFiles/physics_tests.dir/physics/interaction_force_test.cc.o"
+  "CMakeFiles/physics_tests.dir/physics/interaction_force_test.cc.o.d"
+  "CMakeFiles/physics_tests.dir/physics/mechanical_forces_op_test.cc.o"
+  "CMakeFiles/physics_tests.dir/physics/mechanical_forces_op_test.cc.o.d"
+  "physics_tests"
+  "physics_tests.pdb"
+  "physics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

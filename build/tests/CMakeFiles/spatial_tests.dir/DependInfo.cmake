@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spatial/environment_equivalence_test.cc" "tests/CMakeFiles/spatial_tests.dir/spatial/environment_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/spatial_tests.dir/spatial/environment_equivalence_test.cc.o.d"
+  "/root/repo/tests/spatial/kd_tree_test.cc" "tests/CMakeFiles/spatial_tests.dir/spatial/kd_tree_test.cc.o" "gcc" "tests/CMakeFiles/spatial_tests.dir/spatial/kd_tree_test.cc.o.d"
+  "/root/repo/tests/spatial/morton_test.cc" "tests/CMakeFiles/spatial_tests.dir/spatial/morton_test.cc.o" "gcc" "tests/CMakeFiles/spatial_tests.dir/spatial/morton_test.cc.o.d"
+  "/root/repo/tests/spatial/torus_test.cc" "tests/CMakeFiles/spatial_tests.dir/spatial/torus_test.cc.o" "gcc" "tests/CMakeFiles/spatial_tests.dir/spatial/torus_test.cc.o.d"
+  "/root/repo/tests/spatial/uniform_grid_test.cc" "tests/CMakeFiles/spatial_tests.dir/spatial/uniform_grid_test.cc.o" "gcc" "tests/CMakeFiles/spatial_tests.dir/spatial/uniform_grid_test.cc.o.d"
+  "/root/repo/tests/spatial/zorder_sort_test.cc" "tests/CMakeFiles/spatial_tests.dir/spatial/zorder_sort_test.cc.o" "gcc" "tests/CMakeFiles/spatial_tests.dir/spatial/zorder_sort_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roofline/CMakeFiles/biosim_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/biosim_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/biosim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/biosim_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/biosim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/biosim_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/biosim_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/biosim_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/biosim_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_tests.dir/spatial/environment_equivalence_test.cc.o"
+  "CMakeFiles/spatial_tests.dir/spatial/environment_equivalence_test.cc.o.d"
+  "CMakeFiles/spatial_tests.dir/spatial/kd_tree_test.cc.o"
+  "CMakeFiles/spatial_tests.dir/spatial/kd_tree_test.cc.o.d"
+  "CMakeFiles/spatial_tests.dir/spatial/morton_test.cc.o"
+  "CMakeFiles/spatial_tests.dir/spatial/morton_test.cc.o.d"
+  "CMakeFiles/spatial_tests.dir/spatial/torus_test.cc.o"
+  "CMakeFiles/spatial_tests.dir/spatial/torus_test.cc.o.d"
+  "CMakeFiles/spatial_tests.dir/spatial/uniform_grid_test.cc.o"
+  "CMakeFiles/spatial_tests.dir/spatial/uniform_grid_test.cc.o.d"
+  "CMakeFiles/spatial_tests.dir/spatial/zorder_sort_test.cc.o"
+  "CMakeFiles/spatial_tests.dir/spatial/zorder_sort_test.cc.o.d"
+  "spatial_tests"
+  "spatial_tests.pdb"
+  "spatial_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/spatial_tests[1]_include.cmake")
+include("/root/repo/build/tests/physics_tests[1]_include.cmake")
+include("/root/repo/build/tests/diffusion_tests[1]_include.cmake")
+include("/root/repo/build/tests/gpusim_tests[1]_include.cmake")
+include("/root/repo/build/tests/gpu_tests[1]_include.cmake")
+include("/root/repo/build/tests/model_tests[1]_include.cmake")
+include("/root/repo/build/tests/app_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosim_run.dir/biosim_run.cc.o"
+  "CMakeFiles/biosim_run.dir/biosim_run.cc.o.d"
+  "biosim_run"
+  "biosim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
