@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 build + test suite under the host sanitizers (ASan + UBSan).
+#
+#   scripts/check.sh [extra ctest args...]
+#
+# Uses a dedicated build directory (build-asan) so the regular build/ stays
+# untouched. Any ASan/UBSan finding fails the run. The simulated-GPU hazard
+# checks are separate (gpusim/sanitizer.h; see docs/sanitizer.md) and run as
+# part of the normal test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+
+cmake -B "$BUILD_DIR" -S . -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBIOSIM_SANITIZE="address;undefined"
+cmake --build "$BUILD_DIR" -j
+
+# Container-friendly ASan defaults: leak detection needs ptrace, which many
+# CI sandboxes forbid; UBSan findings abort so they cannot scroll past.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0:abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+echo "check.sh: build+ctest clean under ASan/UBSan"

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# clang-tidy over the first-party sources using the repo .clang-tidy profile.
+#
+#   scripts/lint.sh [paths...]       # default: src/gpusim src/gpu
+#
+# Needs a compile_commands.json (generated into build/ by the tier-1
+# configure) and clang-tidy on PATH; exits 0 with a notice when the tool is
+# unavailable so CI images without LLVM don't fail spuriously.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint.sh: clang-tidy not found on PATH; skipping (install LLVM to run)"
+  exit 0
+fi
+
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake -B build -S . -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+paths=("$@")
+if [[ ${#paths[@]} -eq 0 ]]; then
+  paths=(src/gpusim src/gpu)
+fi
+
+files=()
+while IFS= read -r f; do
+  files+=("$f")
+done < <(find "${paths[@]}" -name '*.cc' | sort)
+
+echo "lint.sh: checking ${#files[@]} translation units in: ${paths[*]}"
+clang-tidy -p build --quiet "${files[@]}"
+echo "lint.sh: clean"

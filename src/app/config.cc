@@ -42,6 +42,16 @@ uint64_t ToU64(const std::string& v, size_t line) {
   return static_cast<uint64_t>(d);
 }
 
+bool ToBool(const std::string& v, size_t line) {
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  Fail(line, "expected a boolean (true/false), got '" + v + "'");
+}
+
 }  // namespace
 
 void RunConfig::Validate() const {
@@ -70,6 +80,10 @@ void RunConfig::Validate() const {
   }
   if (meter_stride < 1) {
     fail("meter_stride must be >= 1");
+  }
+  if (sanitize && backend_type != "gpu") {
+    fail("sanitize requires backend type gpu (the sanitizer observes the "
+         "simulated device)");
   }
   if (!(timestep > 0.0)) {
     fail("timestep must be positive");
@@ -142,6 +156,8 @@ RunConfig ParseConfigString(const std::string& text) {
        [&](const std::string& v, size_t l) {
          cfg.meter_stride = static_cast<int>(ToU64(v, l));
        }},
+      {"sanitize",
+       [&](const std::string& v, size_t l) { cfg.sanitize = ToBool(v, l); }},
   };
   schema["output"] = {
       {"timeseries",

@@ -21,6 +21,7 @@
 //   gpu_version = 2               ; 0..4
 //   gpu_device = 1080ti           ; 1080ti | v100
 //   meter_stride = 8
+//   sanitize = false              ; GPU sanitizer (racecheck/memcheck/synccheck)
 //
 //   [output]
 //   timeseries = out.csv
@@ -61,6 +62,9 @@ struct RunConfig {
   int gpu_version = 2;
   std::string gpu_device = "1080ti";
   int meter_stride = 8;
+  /// Run every GPU launch under the compute-sanitizer-style analysis layer
+  /// (gpusim/sanitizer.h); biosim_run exits non-zero if hazards are found.
+  bool sanitize = false;
 
   // [output]
   std::string timeseries_path;

@@ -58,6 +58,7 @@ std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
     gpu::GpuMechanicsOptions opts =
         gpu::GpuMechanicsOptions::Version(cfg.gpu_version, std::move(spec));
     opts.meter_stride = cfg.meter_stride;
+    opts.sanitize = cfg.sanitize;
     sim->SetEnvironment(std::make_unique<NullEnvironment>());
     sim->SetMechanicsBackend(std::make_unique<gpu::GpuMechanicalOp>(opts));
   }
@@ -87,6 +88,10 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
   if (auto* gpu_op =
           dynamic_cast<gpu::GpuMechanicalOp*>(&sim->mechanics_backend())) {
     summary.gpu_simulated_ms = gpu_op->SimulatedMs();
+    if (const gpusim::Sanitizer* san = gpu_op->device().sanitizer()) {
+      summary.sanitizer_hazards = san->report().total();
+      summary.sanitizer_report = san->report().ToString();
+    }
   }
 
   auto require = [](bool ok, const std::string& what) {

@@ -22,6 +22,10 @@ struct RunSummary {
   /// Simulated device time if the backend is the GPU offload, else 0.
   double gpu_simulated_ms = 0.0;
   std::string profile;  // OpProfile::ToString()
+  /// GPU sanitizer results (cfg.sanitize only): total hazard count and the
+  /// compute-sanitizer-style text report.
+  uint64_t sanitizer_hazards = 0;
+  std::string sanitizer_report;
 };
 
 /// Build, simulate cfg.steps, write the configured outputs. Throws on

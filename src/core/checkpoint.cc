@@ -30,11 +30,15 @@ struct Writer {
   }
   void Doubles(const std::vector<double>& v) {
     U64(v.size());
-    std::fwrite(v.data(), sizeof(double), v.size(), f);
+    if (!v.empty()) {  // empty vector data() may be null; null fwrite is UB
+      std::fwrite(v.data(), sizeof(double), v.size(), f);
+    }
   }
   void Vec3s(const std::vector<Double3>& v) {
     U64(v.size());
-    std::fwrite(v.data(), sizeof(Double3), v.size(), f);
+    if (!v.empty()) {
+      std::fwrite(v.data(), sizeof(Double3), v.size(), f);
+    }
   }
 
   std::FILE* f;
@@ -69,7 +73,7 @@ struct Reader {
       return {};
     }
     std::vector<double> v(n);
-    if (std::fread(v.data(), sizeof(double), n, f) != n) {
+    if (n != 0 && std::fread(v.data(), sizeof(double), n, f) != n) {
       failed = true;
     }
     return v;
@@ -81,7 +85,7 @@ struct Reader {
       return {};
     }
     std::vector<Double3> v(n);
-    if (std::fread(v.data(), sizeof(Double3), n, f) != n) {
+    if (n != 0 && std::fread(v.data(), sizeof(Double3), n, f) != n) {
       failed = true;
     }
     return v;
@@ -108,7 +112,9 @@ bool SaveCheckpoint(const ResourceManager& rm, const std::string& path) {
   w.Doubles(rm.densities());
   w.Vec3s(rm.tractor_forces());
   w.U64(rm.uids().size());
-  std::fwrite(rm.uids().data(), sizeof(AgentUid), rm.uids().size(), w.f);
+  if (!rm.uids().empty()) {
+    std::fwrite(rm.uids().data(), sizeof(AgentUid), rm.uids().size(), w.f);
+  }
   w.U64(rm.next_uid());
   return w.ok();
 }
@@ -139,7 +145,7 @@ bool LoadCheckpoint(ResourceManager* rm, const std::string& path) {
     return false;
   }
   std::vector<AgentUid> uids(n);
-  if (std::fread(uids.data(), sizeof(AgentUid), n, r.f) != n) {
+  if (n != 0 && std::fread(uids.data(), sizeof(AgentUid), n, r.f) != n) {
     return false;
   }
   AgentUid next_uid = r.U64();

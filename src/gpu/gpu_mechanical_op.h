@@ -61,6 +61,11 @@ struct GpuMechanicsOptions {
   size_t block_dim = 128;
   /// Warp-sampling stride for the performance counters (1 = exact).
   int meter_stride = 1;
+  /// Attach the compute-sanitizer-style analysis layer (gpusim/sanitizer.h)
+  /// to the device: every launch is checked for races, out-of-bounds /
+  /// never-written accesses and barrier divergence. Hazards accumulate in
+  /// device().sanitizer()->report().
+  bool sanitize = false;
   /// Fixed grid box edge (0 = derive from largest diameter); benchmark B.
   double fixed_box_length = 0.0;
   /// Keep agent state resident on the device across steps: displacements

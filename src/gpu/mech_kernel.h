@@ -206,6 +206,18 @@ void MechSharedKernelBody(gpusim::BlockCtx& blk, MechDeviceState<T>& s,
   const int32_t rz0 = tz * kTileBoxes - 1;
   constexpr int32_t kRegion = kTileBoxes + 2;  // 4 boxes per axis
 
+  // Phase 0: zero the append counters. Shared memory is uninitialized on
+  // real hardware — the atomic appends below read-modify-write the
+  // counters, so they must be seeded explicitly, not by the simulator's
+  // zero-fill.
+  blk.for_each_lane([&](gpusim::Lane& t) {
+    if (t.lane() == 0) {
+      t.shared_st(counters, 0, int32_t{0});
+      t.shared_st(counters, 1, int32_t{0});
+    }
+  });
+  // implicit __syncthreads()
+
   // Phase 1: cooperatively stage the region's agents into shared memory.
   // Each lane walks a subset of the 64 region boxes; every append is an
   // atomic increment of the shared counter — the parallel-build race the

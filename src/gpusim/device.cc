@@ -77,11 +77,21 @@ KernelStats Device::Launch(const LaunchConfig& cfg,
   assert(cfg.block_dim >= 1 &&
          cfg.block_dim <= static_cast<size_t>(spec_.max_threads_per_block));
 
+  if (sanitizer_) {
+    sanitizer_->BeginLaunch(cfg.name, cfg.grid_dim, cfg.block_dim);
+  }
   size_t warp_counter = 0;
   for (size_t b = 0; b < cfg.grid_dim; ++b) {
     BlockCtx ctx(b, cfg.block_dim, cfg.grid_dim, &spec_, &mem_, &raw,
-                 &warp_counter, stride_);
+                 &warp_counter, stride_, sanitizer_.get());
+    if (sanitizer_) {
+      sanitizer_->BeginBlock(b);
+    }
     kernel(ctx);
+    if (sanitizer_) {
+      sanitizer_->EndBlock(b, ctx.phases_run_, ctx.shared_used_,
+                           ctx.arena_.size());
+    }
   }
 
   // Scale sampled counters back to full-population estimates.
@@ -104,6 +114,10 @@ KernelStats Device::Launch(const LaunchConfig& cfg,
     raw.atomic_serialized *= s;
     raw.lane_ops_sum *= s;
     raw.warp_ops_slots *= s;
+  }
+
+  if (sanitizer_) {
+    raw.sanitizer_hazards = sanitizer_->EndLaunch();
   }
 
   ApplyTimingModel(spec_, &raw);
@@ -155,6 +169,7 @@ void KernelStats::Accumulate(const KernelStats& o) {
   lane_ops_sum += o.lane_ops_sum;
   warp_ops_slots += o.warp_ops_slots;
   max_lane_mem_ops = std::max(max_lane_mem_ops, o.max_lane_mem_ops);
+  sanitizer_hazards += o.sanitizer_hazards;
   total_threads += o.total_threads;
   compute_ms += o.compute_ms;
   memory_ms += o.memory_ms;

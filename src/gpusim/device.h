@@ -38,6 +38,7 @@
 #include "gpusim/device_spec.h"
 #include "gpusim/kernel_stats.h"
 #include "gpusim/memory_model.h"
+#include "gpusim/sanitizer.h"
 #include "gpusim/timing.h"
 
 namespace biosim::gpusim {
@@ -60,15 +61,31 @@ class DeviceBuffer {
 
   /// Direct host access — the simulator equivalent of unified memory; tests
   /// use it, kernels must go through Lane::ld/st so traffic is metered.
-  T* data() { return storage_.data(); }
+  /// Mutable access conservatively marks the buffer initialized for the
+  /// sanitizer's never-written-read check (it cannot see host writes).
+  T* data() {
+    if (shadow_) {
+      shadow_->MarkAll();
+    }
+    return storage_.data();
+  }
   const T* data() const { return storage_.data(); }
-  T& operator[](size_t i) { return storage_[i]; }
+  T& operator[](size_t i) {
+    if (shadow_) {
+      shadow_->Mark(i);
+    }
+    return storage_[i];
+  }
   const T& operator[](size_t i) const { return storage_[i]; }
 
  private:
   friend class Device;
+  friend class Lane;
   std::vector<T> storage_;
   uint64_t base_ = 0;
+  /// Element initialization shadow; only allocated while the device has a
+  /// memcheck-enabled sanitizer attached (see Device::Alloc).
+  std::shared_ptr<BufferShadow> shadow_;
 };
 
 /// Tracks one warp's accounting while its lanes execute.
@@ -127,8 +144,9 @@ template <typename T>
 class SharedArray {
  public:
   SharedArray() = default;
-  SharedArray(T* data, size_t n, uint64_t base)
-      : data_(data), n_(n), base_(base) {}
+  SharedArray(T* data, size_t n, uint64_t base,
+              BufferShadow* shadow = nullptr)
+      : data_(data), n_(n), base_(base), shadow_(shadow) {}
   size_t size() const { return n_; }
   uint64_t addr(size_t i) const { return base_ + i * sizeof(T); }
   T* raw() { return data_; }
@@ -138,6 +156,7 @@ class SharedArray {
   T* data_ = nullptr;
   size_t n_ = 0;
   uint64_t base_ = 0;
+  BufferShadow* shadow_ = nullptr;  // owned by the BlockCtx; block lifetime
 };
 
 /// The view device code gets of one thread (CUDA thread / OpenCL work-item).
@@ -157,6 +176,21 @@ class Lane {
   /// Metered global load.
   template <typename T>
   T ld(const DeviceBuffer<T>& b, size_t i) {
+    if (san_ != nullptr) [[unlikely]] {
+      if (i >= b.size()) {
+        san_->OnOutOfBounds(MemSpace::kGlobal, AccessKind::kRead, block_,
+                            lane_, phase_, b.base_, i, b.size(), sizeof(T));
+        ++read_seq_;  // keep coalescing sequence aligned across lanes
+        return T{};
+      }
+      if (b.shadow_ && !b.shadow_->IsWritten(i)) {
+        san_->OnUninitializedRead(MemSpace::kGlobal, AccessKind::kRead,
+                                  block_, lane_, phase_, b.addr(i),
+                                  sizeof(T));
+      }
+      san_->OnAccess(MemSpace::kGlobal, AccessKind::kRead, block_, lane_,
+                     phase_, b.addr(i), sizeof(T));
+    }
     assert(i < b.size());
     if (wt_->metered()) {
       wt_->RecordRead(read_seq_, b.addr(i), sizeof(T));
@@ -164,12 +198,25 @@ class Lane {
       wt_->AddLaneMemOp(lane_ & 31);
     }
     ++read_seq_;
-    return b.data()[i];
+    return b.storage_.data()[i];
   }
 
   /// Metered global store.
   template <typename T>
   void st(DeviceBuffer<T>& b, size_t i, T v) {
+    if (san_ != nullptr) [[unlikely]] {
+      if (i >= b.size()) {
+        san_->OnOutOfBounds(MemSpace::kGlobal, AccessKind::kWrite, block_,
+                            lane_, phase_, b.base_, i, b.size(), sizeof(T));
+        ++write_seq_;
+        return;  // suppress the wild store so execution can continue
+      }
+      if (b.shadow_) {
+        b.shadow_->Mark(i);
+      }
+      san_->OnAccess(MemSpace::kGlobal, AccessKind::kWrite, block_, lane_,
+                     phase_, b.addr(i), sizeof(T));
+    }
     assert(i < b.size());
     if (wt_->metered()) {
       wt_->RecordWrite(write_seq_, b.addr(i), sizeof(T));
@@ -177,15 +224,20 @@ class Lane {
       wt_->AddLaneMemOp(lane_ & 31);
     }
     ++write_seq_;
-    b.data()[i] = v;
+    b.storage_.data()[i] = v;
   }
 
   /// Global atomic add; returns the old value.
   template <typename T>
   T atomic_add(DeviceBuffer<T>& b, size_t i, T v) {
-    T old = b.data()[i];
-    b.data()[i] = old + v;
-    RecordAtomicSite(b.addr(i), sizeof(T));
+    if (san_ != nullptr) [[unlikely]] {
+      if (!SanCheckAtomic(b, i, sizeof(T))) {
+        return T{};
+      }
+    }
+    T old = b.storage_.data()[i];
+    b.storage_.data()[i] = old + v;
+    RecordAtomicSite(b.addr(i), sizeof(T), /*counts_as_mem_op=*/true);
     return old;
   }
 
@@ -193,9 +245,14 @@ class Lane {
   /// kernel's linked-list push is exactly this, Section IV-A.)
   template <typename T>
   T atomic_exch(DeviceBuffer<T>& b, size_t i, T v) {
-    T old = b.data()[i];
-    b.data()[i] = v;
-    RecordAtomicSite(b.addr(i), sizeof(T));
+    if (san_ != nullptr) [[unlikely]] {
+      if (!SanCheckAtomic(b, i, sizeof(T))) {
+        return T{};
+      }
+    }
+    T old = b.storage_.data()[i];
+    b.storage_.data()[i] = v;
+    RecordAtomicSite(b.addr(i), sizeof(T), /*counts_as_mem_op=*/true);
     return old;
   }
 
@@ -203,12 +260,38 @@ class Lane {
   /// DRAM involvement).
   template <typename T>
   T shared_ld(const SharedArray<T>& s, size_t i) {
+    if (san_ != nullptr) [[unlikely]] {
+      if (i >= s.size()) {
+        san_->OnOutOfBounds(MemSpace::kShared, AccessKind::kRead, block_,
+                            lane_, phase_, s.base_, i, s.size(), sizeof(T));
+        return T{};
+      }
+      if (s.shadow_ && !s.shadow_->IsWritten(i)) {
+        san_->OnUninitializedRead(MemSpace::kShared, AccessKind::kRead,
+                                  block_, lane_, phase_, s.addr(i),
+                                  sizeof(T));
+      }
+      san_->OnAccess(MemSpace::kShared, AccessKind::kRead, block_, lane_,
+                     phase_, s.addr(i), sizeof(T));
+    }
     assert(i < s.size());
     SharedTraffic(sizeof(T));
     return s.data_[i];
   }
   template <typename T>
   void shared_st(SharedArray<T>& s, size_t i, T v) {
+    if (san_ != nullptr) [[unlikely]] {
+      if (i >= s.size()) {
+        san_->OnOutOfBounds(MemSpace::kShared, AccessKind::kWrite, block_,
+                            lane_, phase_, s.base_, i, s.size(), sizeof(T));
+        return;
+      }
+      if (s.shadow_) {
+        s.shadow_->Mark(i);
+      }
+      san_->OnAccess(MemSpace::kShared, AccessKind::kWrite, block_, lane_,
+                     phase_, s.addr(i), sizeof(T));
+    }
     assert(i < s.size());
     SharedTraffic(sizeof(T));
     s.data_[i] = v;
@@ -218,22 +301,67 @@ class Lane {
   /// the old value; warp-internal address conflicts serialize.
   template <typename T>
   T atomic_add_shared(SharedArray<T>& s, size_t i, T v) {
+    if (san_ != nullptr) [[unlikely]] {
+      if (i >= s.size()) {
+        san_->OnOutOfBounds(MemSpace::kShared, AccessKind::kAtomic, block_,
+                            lane_, phase_, s.base_, i, s.size(), sizeof(T));
+        return T{};
+      }
+      if (s.shadow_ && !s.shadow_->IsWritten(i)) {
+        // The RMW reads the old value; shared memory is garbage on real
+        // hardware even though the simulator zero-fills it.
+        san_->OnUninitializedRead(MemSpace::kShared, AccessKind::kAtomic,
+                                  block_, lane_, phase_, s.addr(i),
+                                  sizeof(T));
+      }
+      if (s.shadow_) {
+        s.shadow_->Mark(i);
+      }
+      san_->OnAccess(MemSpace::kShared, AccessKind::kAtomic, block_, lane_,
+                     phase_, s.addr(i), sizeof(T));
+    }
     T old = s.data_[i];
     s.data_[i] = old + v;
-    RecordAtomicSite(s.addr(i), sizeof(T));
+    // On-chip atomic: serializes but is not a global-latency memory op.
+    RecordAtomicSite(s.addr(i), sizeof(T), /*counts_as_mem_op=*/false);
     return old;
   }
 
  private:
   friend class BlockCtx;
   Lane(size_t lane, size_t block, size_t block_dim, size_t grid_dim,
-       WarpTracker* wt, KernelStats* raw)
+       WarpTracker* wt, KernelStats* raw, Sanitizer* san, size_t phase)
       : lane_(lane),
         block_(block),
         block_dim_(block_dim),
         grid_dim_(grid_dim),
         wt_(wt),
-        raw_(raw) {}
+        raw_(raw),
+        san_(san),
+        phase_(phase) {}
+
+  /// Sanitizer path shared by the global atomics: OOB (suppressing the
+  /// access), uninit-RMW-read, and race bookkeeping. Returns false when the
+  /// access was suppressed.
+  template <typename T>
+  bool SanCheckAtomic(DeviceBuffer<T>& b, size_t i, uint32_t bytes) {
+    if (i >= b.size()) {
+      san_->OnOutOfBounds(MemSpace::kGlobal, AccessKind::kAtomic, block_,
+                          lane_, phase_, b.base_, i, b.size(), bytes);
+      ++atomic_seq_;
+      return false;
+    }
+    if (b.shadow_ && !b.shadow_->IsWritten(i)) {
+      san_->OnUninitializedRead(MemSpace::kGlobal, AccessKind::kAtomic,
+                                block_, lane_, phase_, b.addr(i), bytes);
+    }
+    if (b.shadow_) {
+      b.shadow_->Mark(i);
+    }
+    san_->OnAccess(MemSpace::kGlobal, AccessKind::kAtomic, block_, lane_,
+                   phase_, b.addr(i), bytes);
+    return true;
+  }
 
   void Ops(uint64_t n, uint64_t* counter) {
     if (wt_->metered()) {
@@ -242,10 +370,16 @@ class Lane {
     }
   }
 
-  void RecordAtomicSite(uint64_t addr, uint32_t bytes) {
+  void RecordAtomicSite(uint64_t addr, uint32_t bytes,
+                        bool counts_as_mem_op) {
     if (wt_->metered()) {
       wt_->RecordAtomic(atomic_seq_, addr, bytes);
       wt_->AddLaneOps(lane_ & 31, 1);
+      // Global atomics round-trip to L2/DRAM, so they extend the per-lane
+      // dependent-memory-op chain; shared atomics stay on-chip.
+      if (counts_as_mem_op) {
+        wt_->AddLaneMemOp(lane_ & 31);
+      }
     }
     ++atomic_seq_;
   }
@@ -260,6 +394,8 @@ class Lane {
   size_t lane_, block_, block_dim_, grid_dim_;
   WarpTracker* wt_;
   KernelStats* raw_;
+  Sanitizer* san_ = nullptr;  // non-owning; null unless EnableSanitizer
+  size_t phase_ = 0;          // barrier interval this lane is executing in
   size_t read_seq_ = 0;
   size_t write_seq_ = 0;
   size_t atomic_seq_ = 0;
@@ -280,17 +416,29 @@ class BlockCtx {
   size_t block_dim() const { return block_dim_; }
   size_t grid_dim() const { return grid_dim_; }
 
-  /// Allocate a __shared__ array (zero-initialized, like static shared
-  /// memory). Asserts the per-block shared limit.
+  /// Allocate a __shared__ array (zero-initialized by the simulator — note
+  /// that real shared memory is *not*; the sanitizer's never-written check
+  /// models the hardware behavior). Exceeding the per-block shared limit
+  /// asserts, or — with a sanitizer attached — reports a structured
+  /// shared-overflow hazard and continues (host memory backs the arena).
   template <typename T>
   SharedArray<T> shared(size_t n) {
     size_t bytes = n * sizeof(T);
-    assert(shared_used_ + bytes <= spec_->shared_mem_per_block &&
-           "exceeds shared memory per block");
+    bool fits = shared_used_ + bytes <= spec_->shared_mem_per_block;
+    if (!fits && san_ != nullptr) {
+      san_->OnSharedOverflow(block_, bytes, shared_used_,
+                             spec_->shared_mem_per_block);
+    }
+    assert((fits || san_ != nullptr) && "exceeds shared memory per block");
     arena_.push_back(std::make_unique<char[]>(bytes));
     std::memset(arena_.back().get(), 0, bytes);
     auto* p = reinterpret_cast<T*>(arena_.back().get());
-    SharedArray<T> s(p, n, kSharedBase + shared_used_);
+    BufferShadow* shadow = nullptr;
+    if (san_ != nullptr && san_->memcheck_enabled()) {
+      shared_shadows_.push_back(std::make_unique<BufferShadow>(n));
+      shadow = shared_shadows_.back().get();
+    }
+    SharedArray<T> s(p, n, kSharedBase + shared_used_, shadow);
     shared_used_ += bytes;
     return s;
   }
@@ -299,12 +447,17 @@ class BlockCtx {
   /// a block-wide barrier (__syncthreads()).
   template <typename F>
   void for_each_lane(F&& body) {
+    if (san_ != nullptr) {
+      san_->BeginPhase();
+    }
+    size_t phase = phases_run_++;
     for (size_t w0 = 0; w0 < block_dim_; w0 += 32) {
       size_t lanes = std::min<size_t>(32, block_dim_ - w0);
       bool metered = (warp_counter_++ % static_cast<size_t>(stride_)) == 0;
       wt_.Reset(metered, lanes);
       for (size_t l = 0; l < lanes; ++l) {
-        Lane t(w0 + l, block_, block_dim_, grid_dim_, &wt_, raw_);
+        Lane t(w0 + l, block_, block_dim_, grid_dim_, &wt_, raw_, san_,
+               phase);
         body(t);
         t.CommitFlops();
       }
@@ -318,7 +471,7 @@ class BlockCtx {
 
   BlockCtx(size_t block, size_t block_dim, size_t grid_dim,
            const DeviceSpec* spec, MemoryModel* mem, KernelStats* raw,
-           size_t* warp_counter, int stride)
+           size_t* warp_counter, int stride, Sanitizer* san)
       : block_(block),
         block_dim_(block_dim),
         grid_dim_(grid_dim),
@@ -327,7 +480,8 @@ class BlockCtx {
         raw_(raw),
         warp_counter_(*warp_counter),
         stride_(stride),
-        warp_counter_ref_(warp_counter) {}
+        warp_counter_ref_(warp_counter),
+        san_(san) {}
 
   ~BlockCtx() { *warp_counter_ref_ = warp_counter_; }
 
@@ -338,9 +492,12 @@ class BlockCtx {
   size_t warp_counter_;
   int stride_;
   size_t* warp_counter_ref_;
+  Sanitizer* san_;
   WarpTracker wt_;
   size_t shared_used_ = 0;
+  size_t phases_run_ = 0;  // barrier intervals executed (synccheck input)
   std::vector<std::unique_ptr<char[]>> arena_;
+  std::vector<std::unique_ptr<BufferShadow>> shared_shadows_;
 };
 
 struct LaunchConfig {
@@ -369,12 +526,28 @@ class Device {
   }
   int meter_stride() const { return stride_; }
 
+  /// Attach the compute-sanitizer-style analysis layer (sanitizer.h). Every
+  /// subsequent Launch is checked; hazards accumulate in
+  /// sanitizer()->report(). Call before Alloc for full memcheck coverage —
+  /// buffers allocated earlier are bounds-checked but not tracked for
+  /// never-written reads. Returns the sanitizer for configuration/report
+  /// access.
+  Sanitizer* EnableSanitizer(SanitizerConfig config = {}) {
+    sanitizer_ = std::make_unique<Sanitizer>(config);
+    return sanitizer_.get();
+  }
+  Sanitizer* sanitizer() { return sanitizer_.get(); }
+  const Sanitizer* sanitizer() const { return sanitizer_.get(); }
+
   /// Allocate a device buffer of `n` elements.
   template <typename T>
   DeviceBuffer<T> Alloc(size_t n) {
     DeviceBuffer<T> b;
     b.storage_.resize(n);
     b.base_ = next_addr_;
+    if (sanitizer_ && sanitizer_->memcheck_enabled()) {
+      b.shadow_ = std::make_shared<BufferShadow>(n);
+    }
     size_t bytes = (n * sizeof(T) + 255) / 256 * 256;
     next_addr_ += bytes;
     allocated_bytes_ += bytes;
@@ -386,7 +559,10 @@ class Device {
   template <typename T>
   void CopyToDevice(DeviceBuffer<T>& dst, std::span<const T> src) {
     assert(src.size() <= dst.size());
-    std::memcpy(dst.data(), src.data(), src.size() * sizeof(T));
+    std::memcpy(dst.storage_.data(), src.data(), src.size() * sizeof(T));
+    if (dst.shadow_) {
+      dst.shadow_->MarkPrefix(src.size());
+    }
     uint64_t bytes = src.size() * sizeof(T);
     transfers_.h2d_bytes += bytes;
     transfers_.h2d_count += 1;
@@ -397,7 +573,7 @@ class Device {
   template <typename T>
   void CopyFromDevice(std::span<T> dst, const DeviceBuffer<T>& src) {
     assert(dst.size() <= src.size());
-    std::memcpy(dst.data(), src.data(), dst.size() * sizeof(T));
+    std::memcpy(dst.data(), src.storage_.data(), dst.size() * sizeof(T));
     uint64_t bytes = dst.size() * sizeof(T);
     transfers_.d2h_bytes += bytes;
     transfers_.d2h_count += 1;
@@ -446,6 +622,7 @@ class Device {
 
   DeviceSpec spec_;
   MemoryModel mem_;
+  std::unique_ptr<Sanitizer> sanitizer_;
   int stride_ = 1;
   uint64_t next_addr_ = 1ull << 20;
   uint64_t allocated_bytes_ = 0;

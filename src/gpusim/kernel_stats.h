@@ -61,6 +61,11 @@ struct KernelStats {
   /// are already scaled back to full-population estimates.
   int meter_stride = 1;
 
+  /// Hazards the sanitizer attributed to this launch (0 when the sanitizer
+  /// is disabled). Never scaled: sanitizer hooks observe every warp
+  /// regardless of the metering stride.
+  uint64_t sanitizer_hazards = 0;
+
   // --- derived timing (filled by the timing model) ----------------------
   double compute_ms = 0.0;
   double memory_ms = 0.0;

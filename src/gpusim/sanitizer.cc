@@ -1,0 +1,340 @@
+#include "gpusim/sanitizer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace biosim::gpusim {
+
+const char* ToString(AccessKind k) {
+  switch (k) {
+    case AccessKind::kRead:
+      return "Read";
+    case AccessKind::kWrite:
+      return "Write";
+    case AccessKind::kAtomic:
+      return "Atomic";
+  }
+  return "?";
+}
+
+const char* ToString(MemSpace s) {
+  return s == MemSpace::kGlobal ? "global" : "shared";
+}
+
+const char* ToString(HazardKind k) {
+  switch (k) {
+    case HazardKind::kSharedRace:
+      return "shared-memory race";
+    case HazardKind::kGlobalRace:
+      return "global-memory race";
+    case HazardKind::kOutOfBounds:
+      return "out-of-bounds access";
+    case HazardKind::kUninitializedRead:
+      return "uninitialized read";
+    case HazardKind::kSharedOverflow:
+      return "shared-memory overflow";
+    case HazardKind::kBarrierDivergence:
+      return "barrier-count divergence";
+    case HazardKind::kSharedAllocDivergence:
+      return "shared-allocation divergence";
+  }
+  return "?";
+}
+
+const char* ToolOf(HazardKind k) {
+  switch (k) {
+    case HazardKind::kSharedRace:
+    case HazardKind::kGlobalRace:
+      return "RACECHECK";
+    case HazardKind::kOutOfBounds:
+    case HazardKind::kUninitializedRead:
+    case HazardKind::kSharedOverflow:
+      return "MEMCHECK";
+    case HazardKind::kBarrierDivergence:
+    case HazardKind::kSharedAllocDivergence:
+      return "SYNCCHECK";
+  }
+  return "?";
+}
+
+std::string Hazard::ToString() const {
+  char buf[512];
+  switch (kind) {
+    case HazardKind::kSharedRace:
+    case HazardKind::kGlobalRace:
+      snprintf(buf, sizeof(buf),
+               "ERROR: %s between %s access by lane %zu (block %zu, phase "
+               "%zu) and %s access by lane %zu (block %zu, phase %zu) at %s "
+               "address 0x%" PRIx64 " (%u bytes) in kernel %s",
+               biosim::gpusim::ToString(kind),
+               biosim::gpusim::ToString(other_access), other_lane,
+               other_block, other_phase, biosim::gpusim::ToString(access),
+               lane, block, phase, biosim::gpusim::ToString(space), addr,
+               bytes, kernel.c_str());
+      break;
+    case HazardKind::kOutOfBounds:
+    case HazardKind::kUninitializedRead:
+      snprintf(buf, sizeof(buf),
+               "ERROR: %s: %s of %u bytes at %s address 0x%" PRIx64
+               " by lane %zu (block %zu, phase %zu) in kernel %s%s%s",
+               biosim::gpusim::ToString(kind),
+               biosim::gpusim::ToString(access), bytes,
+               biosim::gpusim::ToString(space), addr, lane, block, phase,
+               kernel.c_str(), detail.empty() ? "" : " — ", detail.c_str());
+      break;
+    case HazardKind::kSharedOverflow:
+    case HazardKind::kBarrierDivergence:
+    case HazardKind::kSharedAllocDivergence:
+      snprintf(buf, sizeof(buf), "ERROR: %s in kernel %s: %s",
+               biosim::gpusim::ToString(kind), kernel.c_str(),
+               detail.c_str());
+      break;
+  }
+  return buf;
+}
+
+uint64_t SanitizerReport::CountTool(const char* tool) const {
+  uint64_t n = 0;
+  for (size_t k = 0; k < kNumHazardKinds; ++k) {
+    if (std::strcmp(ToolOf(static_cast<HazardKind>(k)), tool) == 0) {
+      n += counts_[k];
+    }
+  }
+  return n;
+}
+
+std::string SanitizerReport::ToString() const {
+  std::string out = "========= SANITIZER (simulated compute-sanitizer)\n";
+  for (const Hazard& h : hazards_) {
+    out += "========= [";
+    out += ToolOf(h.kind);
+    out += "] ";
+    out += h.ToString();
+    out += "\n";
+  }
+  if (dropped_ > 0) {
+    out += "========= (" + std::to_string(dropped_) +
+           " further hazards counted but not recorded)\n";
+  }
+  if (tracking_overflow_) {
+    out +=
+        "========= WARNING: racecheck address tracking saturated; some "
+        "races may be missed\n";
+  }
+  char line[160];
+  snprintf(line, sizeof(line),
+           "========= SANITIZER SUMMARY: %" PRIu64
+           " hazards (%" PRIu64 " racecheck, %" PRIu64 " memcheck, %" PRIu64
+           " synccheck)\n",
+           total_, CountTool("RACECHECK"), CountTool("MEMCHECK"),
+           CountTool("SYNCCHECK"));
+  out += line;
+  return out;
+}
+
+void Sanitizer::BeginLaunch(const std::string& name, size_t grid_dim,
+                            size_t block_dim) {
+  kernel_ = name;
+  grid_dim_ = grid_dim;
+  block_dim_ = block_dim;
+  hazards_before_launch_ = report_.total();
+  global_addrs_.clear();
+  shared_addrs_.clear();
+  blocks_.clear();
+  blocks_.reserve(grid_dim);
+  oob_reported_.clear();
+  uninit_reported_.clear();
+  shared_overflow_reported_ = false;
+}
+
+void Sanitizer::BeginBlock(size_t block) {
+  (void)block;
+  shared_addrs_.clear();
+}
+
+void Sanitizer::BeginPhase() { shared_addrs_.clear(); }
+
+void Sanitizer::EndBlock(size_t block, size_t phases, uint64_t shared_bytes,
+                         size_t shared_allocs) {
+  (void)block;
+  blocks_.push_back({phases, shared_bytes, shared_allocs});
+}
+
+uint64_t Sanitizer::EndLaunch() {
+  if (config_.synccheck && blocks_.size() > 1) {
+    const BlockSummary& ref = blocks_[0];
+    for (size_t b = 1; b < blocks_.size(); ++b) {
+      if (blocks_[b].phases != ref.phases) {
+        Hazard h;
+        h.kind = HazardKind::kBarrierDivergence;
+        h.kernel = kernel_;
+        h.block = b;
+        h.detail = "block 0 ran " + std::to_string(ref.phases) +
+                   " barrier intervals, block " + std::to_string(b) +
+                   " ran " + std::to_string(blocks_[b].phases);
+        AddHazard(std::move(h));
+        break;  // one representative hazard per launch
+      }
+    }
+    for (size_t b = 1; b < blocks_.size(); ++b) {
+      if (blocks_[b].shared_bytes != ref.shared_bytes ||
+          blocks_[b].shared_allocs != ref.shared_allocs) {
+        Hazard h;
+        h.kind = HazardKind::kSharedAllocDivergence;
+        h.kernel = kernel_;
+        h.block = b;
+        h.detail = "block 0 made " + std::to_string(ref.shared_allocs) +
+                   " shared allocations (" + std::to_string(ref.shared_bytes) +
+                   " bytes), block " + std::to_string(b) + " made " +
+                   std::to_string(blocks_[b].shared_allocs) + " (" +
+                   std::to_string(blocks_[b].shared_bytes) + " bytes)";
+        AddHazard(std::move(h));
+        break;
+      }
+    }
+  }
+  return report_.total() - hazards_before_launch_;
+}
+
+void Sanitizer::Track(std::unordered_map<uint64_t, AddrState>* map,
+                      HazardKind race_kind, MemSpace space, AccessKind kind,
+                      size_t block, size_t lane, size_t phase, uint64_t addr,
+                      uint32_t bytes) {
+  if (map->size() >= config_.max_tracked_addresses &&
+      map->find(addr) == map->end()) {
+    report_.NoteTrackingOverflow();
+    return;
+  }
+  AddrState& st = (*map)[addr];
+  AccessRecord rec;
+  rec.block = static_cast<uint32_t>(block);
+  rec.lane = static_cast<uint16_t>(lane);
+  rec.phase = static_cast<uint16_t>(std::min<size_t>(phase, 0xFFFF));
+  rec.kind = kind;
+
+  if (!st.reported) {
+    for (size_t i = 0; i < st.count; ++i) {
+      if (Races(st.recs[i], rec)) {
+        Hazard h;
+        h.kind = race_kind;
+        h.kernel = kernel_;
+        h.space = space;
+        h.addr = addr;
+        h.bytes = bytes;
+        h.block = block;
+        h.lane = lane;
+        h.phase = phase;
+        h.access = kind;
+        h.other_block = st.recs[i].block;
+        h.other_lane = st.recs[i].lane;
+        h.other_phase = st.recs[i].phase;
+        h.other_access = st.recs[i].kind;
+        AddHazard(std::move(h));
+        st.reported = true;  // one hazard per address (per interval/launch)
+        break;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < st.count; ++i) {
+    const AccessRecord& r = st.recs[i];
+    if (r.block == rec.block && r.lane == rec.lane && r.phase == rec.phase &&
+        r.kind == rec.kind) {
+      return;  // identical accessor already stored
+    }
+  }
+  if (st.count < AddrState::kRecs) {
+    st.recs[st.count++] = rec;
+  } else if (kind == AccessKind::kWrite) {
+    // Keep writes visible: they are what future accesses race against.
+    st.recs[AddrState::kRecs - 1] = rec;
+  }
+}
+
+void Sanitizer::OnAccess(MemSpace space, AccessKind kind, size_t block,
+                         size_t lane, size_t phase, uint64_t addr,
+                         uint32_t bytes) {
+  if (!config_.racecheck) {
+    return;
+  }
+  if (space == MemSpace::kShared) {
+    Track(&shared_addrs_, HazardKind::kSharedRace, space, kind, block, lane,
+          phase, addr, bytes);
+  } else {
+    Track(&global_addrs_, HazardKind::kGlobalRace, space, kind, block, lane,
+          phase, addr, bytes);
+  }
+}
+
+void Sanitizer::OnOutOfBounds(MemSpace space, AccessKind kind, size_t block,
+                              size_t lane, size_t phase, uint64_t base_addr,
+                              size_t index, size_t size, uint32_t bytes) {
+  if (!config_.memcheck) {
+    return;
+  }
+  uint64_t addr = base_addr + static_cast<uint64_t>(index) * bytes;
+  if (!oob_reported_.insert(addr).second) {
+    return;
+  }
+  Hazard h;
+  h.kind = HazardKind::kOutOfBounds;
+  h.kernel = kernel_;
+  h.space = space;
+  h.addr = addr;
+  h.bytes = bytes;
+  h.block = block;
+  h.lane = lane;
+  h.phase = phase;
+  h.access = kind;
+  h.detail = "index " + std::to_string(index) + " beyond buffer of " +
+             std::to_string(size) + " elements";
+  AddHazard(std::move(h));
+}
+
+void Sanitizer::OnUninitializedRead(MemSpace space, AccessKind kind,
+                                    size_t block, size_t lane, size_t phase,
+                                    uint64_t addr, uint32_t bytes) {
+  if (!config_.memcheck) {
+    return;
+  }
+  if (!uninit_reported_.insert(addr).second) {
+    return;
+  }
+  Hazard h;
+  h.kind = HazardKind::kUninitializedRead;
+  h.kernel = kernel_;
+  h.space = space;
+  h.addr = addr;
+  h.bytes = bytes;
+  h.block = block;
+  h.lane = lane;
+  h.phase = phase;
+  h.access = kind;
+  h.detail = space == MemSpace::kShared
+                 ? "shared memory is uninitialized on real hardware (the "
+                   "simulator zero-fills it)"
+                 : "no device store, H2D copy or host write initialized "
+                   "this element";
+  AddHazard(std::move(h));
+}
+
+void Sanitizer::OnSharedOverflow(size_t block, uint64_t requested_bytes,
+                                 uint64_t used_bytes, uint64_t limit_bytes) {
+  if (!config_.memcheck || shared_overflow_reported_) {
+    return;
+  }
+  shared_overflow_reported_ = true;
+  Hazard h;
+  h.kind = HazardKind::kSharedOverflow;
+  h.kernel = kernel_;
+  h.space = MemSpace::kShared;
+  h.block = block;
+  h.detail = "allocation of " + std::to_string(requested_bytes) +
+             " bytes with " + std::to_string(used_bytes) +
+             " already in use exceeds the " + std::to_string(limit_bytes) +
+             " bytes/block limit (block " + std::to_string(block) + ")";
+  AddHazard(std::move(h));
+}
+
+}  // namespace biosim::gpusim

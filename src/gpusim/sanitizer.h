@@ -1,0 +1,273 @@
+// GPU sanitizer: compute-sanitizer-style hazard analysis for the SIMT
+// simulator (racecheck / memcheck / synccheck).
+//
+// The simulator executes kernels sequentially and deterministically, which
+// *masks* the hazards a real GPU would hit: data races resolve in program
+// order, out-of-bounds accesses are guarded only by asserts that vanish
+// under NDEBUG, and shared memory arrives zero-initialized even though
+// CUDA/OpenCL shared memory is garbage. This opt-in analysis layer
+// (Device::EnableSanitizer) observes every Lane access and every barrier
+// interval — independent of the warp-metering stride — and reports three
+// hazard classes, named after the compute-sanitizer tools that would catch
+// them on real hardware:
+//
+//   racecheck  -- two different threads touch the same shared- or
+//                 global-memory address, at least one access a non-atomic
+//                 write, with no barrier ordering them. Shared hazards are
+//                 intra-block within one barrier interval; global hazards
+//                 additionally cover any two blocks of the launch (blocks
+//                 are never ordered within a launch).
+//   memcheck   -- out-of-bounds indices on DeviceBuffer / SharedArray
+//                 (diagnosed even in Release builds; the faulting access is
+//                 suppressed so execution continues), reads of elements
+//                 that no device store, H2D copy, or host write ever
+//                 initialized, and shared-memory over-allocation.
+//   synccheck  -- blocks of one launch disagree on the number of barrier
+//                 intervals or on their shared-memory allocations, i.e.
+//                 block-dependent control flow around __syncthreads().
+//
+// Hazards accumulate in a structured SanitizerReport that tests assert on
+// and `biosim_run --sanitize` renders as a compute-sanitizer-style text
+// report. See docs/sanitizer.md for the full hazard model.
+#ifndef BIOSIM_GPUSIM_SANITIZER_H_
+#define BIOSIM_GPUSIM_SANITIZER_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace biosim::gpusim {
+
+enum class AccessKind : uint8_t { kRead, kWrite, kAtomic };
+enum class MemSpace : uint8_t { kGlobal, kShared };
+
+enum class HazardKind : uint8_t {
+  kSharedRace,            // racecheck
+  kGlobalRace,            // racecheck
+  kOutOfBounds,           // memcheck
+  kUninitializedRead,     // memcheck
+  kSharedOverflow,        // memcheck
+  kBarrierDivergence,     // synccheck
+  kSharedAllocDivergence  // synccheck
+};
+inline constexpr size_t kNumHazardKinds = 7;
+
+const char* ToString(AccessKind k);
+const char* ToString(MemSpace s);
+const char* ToString(HazardKind k);
+/// The compute-sanitizer tool that reports this hazard class on real
+/// hardware: "RACECHECK", "MEMCHECK" or "SYNCCHECK".
+const char* ToolOf(HazardKind k);
+
+/// One detected hazard, with everything a test (or a human) needs to find
+/// the offending access: kernel, block, lane(s), address, access kinds and
+/// the barrier interval ("phase") it was first seen in.
+struct Hazard {
+  HazardKind kind = HazardKind::kGlobalRace;
+  std::string kernel;
+  MemSpace space = MemSpace::kGlobal;
+  uint64_t addr = 0;
+  uint32_t bytes = 0;
+  // The access that completed the hazard (memcheck: the faulting access).
+  size_t block = 0;
+  size_t lane = 0;
+  size_t phase = 0;
+  AccessKind access = AccessKind::kRead;
+  // Racecheck only: the earlier conflicting access.
+  size_t other_block = 0;
+  size_t other_lane = 0;
+  size_t other_phase = 0;
+  AccessKind other_access = AccessKind::kRead;
+  // Human-readable specifics (index vs capacity, per-block counts, ...).
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+struct SanitizerConfig {
+  bool racecheck = true;
+  bool memcheck = true;
+  bool synccheck = true;
+  /// Hazards beyond this many are counted but not stored.
+  size_t max_hazards = 256;
+  /// Racecheck address-tracking bound per launch; once exceeded, new
+  /// addresses are not tracked (noted in the report as possible misses).
+  size_t max_tracked_addresses = size_t{1} << 22;
+};
+
+/// Accumulated hazards across all launches since EnableSanitizer (or the
+/// last Clear).
+class SanitizerReport {
+ public:
+  void Add(Hazard h, size_t max_hazards) {
+    counts_[static_cast<size_t>(h.kind)] += 1;
+    total_ += 1;
+    if (hazards_.size() < max_hazards) {
+      hazards_.push_back(std::move(h));
+    } else {
+      dropped_ += 1;
+    }
+  }
+
+  const std::vector<Hazard>& hazards() const { return hazards_; }
+  uint64_t total() const { return total_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t Count(HazardKind k) const {
+    return counts_[static_cast<size_t>(k)];
+  }
+  /// Hazards attributable to one compute-sanitizer tool.
+  uint64_t CountTool(const char* tool) const;
+  bool clean() const { return total_ == 0; }
+  void NoteTrackingOverflow() { tracking_overflow_ = true; }
+  bool tracking_overflow() const { return tracking_overflow_; }
+
+  void Clear() {
+    hazards_.clear();
+    counts_.fill(0);
+    total_ = 0;
+    dropped_ = 0;
+    tracking_overflow_ = false;
+  }
+
+  /// compute-sanitizer-style text report ("========= ERROR: ..." lines plus
+  /// a summary), or a one-line clean summary.
+  std::string ToString() const;
+
+ private:
+  std::vector<Hazard> hazards_;
+  std::array<uint64_t, kNumHazardKinds> counts_{};
+  uint64_t total_ = 0;
+  uint64_t dropped_ = 0;
+  bool tracking_overflow_ = false;
+};
+
+/// Per-buffer initialization shadow (memcheck's never-written-read model).
+/// Device stores and H2D copies mark elements; host access through the raw
+/// pointer conservatively marks the whole buffer (the sanitizer cannot see
+/// what the host does with it).
+class BufferShadow {
+ public:
+  explicit BufferShadow(size_t elems) : written_(elems, false) {}
+
+  void MarkAll() { all_ = true; }
+  void Mark(size_t i) {
+    if (!all_ && i < written_.size()) {
+      written_[i] = true;
+    }
+  }
+  void MarkPrefix(size_t n) {
+    for (size_t i = 0, e = std::min(n, written_.size()); i < e; ++i) {
+      written_[i] = true;
+    }
+  }
+  bool IsWritten(size_t i) const {
+    return all_ || (i < written_.size() && written_[i]);
+  }
+
+ private:
+  std::vector<bool> written_;
+  bool all_ = false;
+};
+
+/// The analysis engine. Owned by Device (EnableSanitizer); driven by
+/// Device::Launch and the Lane/BlockCtx access paths. All hooks are cheap
+/// no-ops for the hazard-free case except the per-access race bookkeeping.
+class Sanitizer {
+ public:
+  explicit Sanitizer(SanitizerConfig config) : config_(config) {}
+
+  const SanitizerConfig& config() const { return config_; }
+  SanitizerReport& report() { return report_; }
+  const SanitizerReport& report() const { return report_; }
+
+  // --- launch lifecycle (driven by Device::Launch / BlockCtx) ------------
+  void BeginLaunch(const std::string& name, size_t grid_dim,
+                   size_t block_dim);
+  /// Finalize synccheck for the launch; returns the hazards it added.
+  uint64_t EndLaunch();
+  void BeginBlock(size_t block);
+  void EndBlock(size_t block, size_t phases, uint64_t shared_bytes,
+                size_t shared_allocs);
+  /// A new barrier interval starts in the current block.
+  void BeginPhase();
+
+  // --- access hooks (lane-level; called for every access, metered or not)
+  void OnAccess(MemSpace space, AccessKind kind, size_t block, size_t lane,
+                size_t phase, uint64_t addr, uint32_t bytes);
+  void OnOutOfBounds(MemSpace space, AccessKind kind, size_t block,
+                     size_t lane, size_t phase, uint64_t base_addr,
+                     size_t index, size_t size, uint32_t bytes);
+  void OnUninitializedRead(MemSpace space, AccessKind kind, size_t block,
+                           size_t lane, size_t phase, uint64_t addr,
+                           uint32_t bytes);
+  void OnSharedOverflow(size_t block, uint64_t requested_bytes,
+                        uint64_t used_bytes, uint64_t limit_bytes);
+
+  bool memcheck_enabled() const { return config_.memcheck; }
+
+ private:
+  struct AccessRecord {
+    uint32_t block = 0;
+    uint16_t lane = 0;
+    uint16_t phase = 0;
+    AccessKind kind = AccessKind::kRead;
+  };
+  /// Per-address racecheck state: up to kRecs distinct accessors. The cap
+  /// trades exhaustiveness for memory; read-mostly addresses saturate
+  /// quickly but a later conflicting write still races against any stored
+  /// record, so write-involved hazards are caught in practice.
+  struct AddrState {
+    static constexpr size_t kRecs = 6;
+    std::array<AccessRecord, kRecs> recs;
+    uint8_t count = 0;
+    bool reported = false;
+  };
+
+  /// True if the two accesses can race: different threads, no barrier
+  /// ordering (same block + different phase), and at least one non-atomic
+  /// write (the issue's — and racecheck's — hazard definition).
+  static bool Races(const AccessRecord& a, const AccessRecord& b) {
+    if (a.block == b.block && a.lane == b.lane) {
+      return false;  // same thread: program order
+    }
+    if (a.block == b.block && a.phase != b.phase) {
+      return false;  // same block, different interval: barrier-ordered
+    }
+    return a.kind == AccessKind::kWrite || b.kind == AccessKind::kWrite;
+  }
+
+  void Track(std::unordered_map<uint64_t, AddrState>* map,
+             HazardKind race_kind, MemSpace space, AccessKind kind,
+             size_t block, size_t lane, size_t phase, uint64_t addr,
+             uint32_t bytes);
+  void AddHazard(Hazard h) { report_.Add(std::move(h), config_.max_hazards); }
+
+  SanitizerConfig config_;
+  SanitizerReport report_;
+
+  // --- per-launch state --------------------------------------------------
+  struct BlockSummary {
+    size_t phases = 0;
+    uint64_t shared_bytes = 0;
+    size_t shared_allocs = 0;
+  };
+  std::string kernel_;
+  size_t grid_dim_ = 0;
+  size_t block_dim_ = 0;
+  uint64_t hazards_before_launch_ = 0;
+  std::unordered_map<uint64_t, AddrState> global_addrs_;
+  std::unordered_map<uint64_t, AddrState> shared_addrs_;  // current interval
+  std::vector<BlockSummary> blocks_;
+  std::unordered_set<uint64_t> oob_reported_;
+  std::unordered_set<uint64_t> uninit_reported_;
+  bool shared_overflow_reported_ = false;
+};
+
+}  // namespace biosim::gpusim
+
+#endif  // BIOSIM_GPUSIM_SANITIZER_H_

@@ -112,6 +112,19 @@ TEST(ConfigTest, BoundaryModes) {
                std::invalid_argument);
 }
 
+TEST(ConfigTest, SanitizeFlagParsesAndRequiresGpu) {
+  RunConfig cfg = ParseConfigString(
+      "[backend]\ntype = gpu\nsanitize = true\n");
+  EXPECT_TRUE(cfg.sanitize);
+  EXPECT_FALSE(ParseConfigString("[backend]\ntype = gpu\n").sanitize);
+  // The sanitizer observes the simulated device: CPU runs reject it.
+  EXPECT_THROW(ParseConfigString("[backend]\nsanitize = true\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ParseConfigString("[backend]\ntype = gpu\nsanitize = maybe\n"),
+      std::runtime_error);
+}
+
 TEST(ConfigTest, ValidationRejectsBadEnumValues) {
   EXPECT_THROW(ParseConfigString("[model]\ntype = banana\n"),
                std::invalid_argument);

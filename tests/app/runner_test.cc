@@ -115,6 +115,20 @@ TEST(RunnerTest, GpuRunReportsSimulatedTime) {
   EXPECT_NE(s.profile.find("gpu kernels (sim)"), std::string::npos);
 }
 
+TEST(RunnerTest, SanitizedGpuRunReportsCleanKernels) {
+  RunConfig cfg;
+  cfg.model_type = "random_cloud";
+  cfg.agents = 1000;
+  cfg.backend_type = "gpu";
+  cfg.gpu_version = 3;  // shared-memory kernel: the hairiest hazard surface
+  cfg.sanitize = true;
+  cfg.steps = 2;
+  RunSummary s = ExecuteRun(cfg);
+  EXPECT_EQ(s.sanitizer_hazards, 0u) << s.sanitizer_report;
+  EXPECT_NE(s.sanitizer_report.find("SANITIZER SUMMARY: 0 hazards"),
+            std::string::npos);
+}
+
 TEST(RunnerTest, ReproducibleAcrossRuns) {
   RunConfig cfg;
   cfg.model_type = "cell_division";

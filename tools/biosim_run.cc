@@ -1,10 +1,12 @@
 // biosim_run: config-driven simulation runner.
 //
-//   biosim_run <config.ini> [--steps N] [--print-config]
+//   biosim_run <config.ini> [--steps N] [--print-config] [--sanitize]
 //
 // See src/app/config.h for the config format; examples/configs/ ships
-// ready-to-run files. Exit code 0 on success, 1 on any error (message on
-// stderr).
+// ready-to-run files. --sanitize runs every GPU launch under the
+// compute-sanitizer-style analysis layer (requires backend type gpu) and
+// prints its report. Exit code 0 on success, 1 on any error (message on
+// stderr), 2 when the sanitizer found hazards.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -17,9 +19,10 @@ int main(int argc, char** argv) {
   using namespace biosim::app;
 
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <config.ini> [--steps N] [--print-config]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s <config.ini> [--steps N] [--print-config] [--sanitize]\n",
+        argv[0]);
     return 1;
   }
 
@@ -31,6 +34,8 @@ int main(int argc, char** argv) {
         cfg.steps = static_cast<uint64_t>(std::atoll(argv[++i]));
       } else if (std::strcmp(argv[i], "--print-config") == 0) {
         print_config = true;
+      } else if (std::strcmp(argv[i], "--sanitize") == 0) {
+        cfg.sanitize = true;
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
         return 1;
@@ -54,6 +59,12 @@ int main(int argc, char** argv) {
       std::printf(", simulated GPU %.3f ms", s.gpu_simulated_ms);
     }
     std::printf("\n\n%s", s.profile.c_str());
+    if (cfg.sanitize) {
+      std::printf("\n%s", s.sanitizer_report.c_str());
+      if (s.sanitizer_hazards > 0) {
+        return 2;  // hazards found: fail like compute-sanitizer would
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
