@@ -2,9 +2,23 @@
 // the L2 simulation, and functional SIMT execution). These bound how large
 // a device workload the simulator can meter per wall-second, which is what
 // the figure benches' --meter-stride flag trades against.
+//
+// `--json PATH` additionally writes BENCH_gpusim.json — the perf-trajectory
+// record CI archives per commit: the metered-path throughput (threads/s of a
+// fully metered saxpy, the quantity the batched access-stream refactor
+// targets) and the wall time of a scaled-down Fig. 8 benchmark-A run. Set
+// BIOSIM_BENCH_BASELINE_METERED=<threads/s> to also record a baseline and
+// the speedup against it (used to pin the pre-refactor comparison).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "../common.h"
 #include "core/random.h"
+#include "core/timer.h"
 #include "gpusim/device.h"
 #include "gpusim/memory_model.h"
 
@@ -96,6 +110,121 @@ void BM_SimtMeteredExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_SimtMeteredExecution);
 
+// --- BENCH_gpusim.json emission -------------------------------------------
+
+/// Threads/second through the fully metered path (meter_stride 1): every
+/// warp runs the coalescer + L1/L2 simulation. This is the simulator's
+/// counter-gathering hot path — the figure benches' wall clock at a given
+/// --meter-stride is inversely proportional to it.
+double MeteredThreadsPerSec() {
+  const size_t n = 1u << 16;
+  const int reps = 20;
+  Device dev(DeviceSpec::GTX1080Ti());
+  auto in = dev.Alloc<float>(n);
+  auto out = dev.Alloc<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    in[i] = static_cast<float>(i % 17);
+  }
+  auto run = [&](int k) {
+    for (int r = 0; r < k; ++r) {
+      dev.Launch({"saxpy", n / 256, 256}, [&](BlockCtx& blk) {
+        blk.for_each_lane([&](Lane& t) {
+          size_t i = t.gtid();
+          float v = t.ld(in, i);
+          t.flops32(2);
+          t.st(out, i, v * 2.0f + 1.0f);
+        });
+      });
+    }
+  };
+  run(2);  // warm up (buffer growth, cache arrays)
+  // Best of several batches: robust against frequency ramping and noise,
+  // comparable to google-benchmark's steady-state numbers.
+  double best = 0.0;
+  for (int batch = 0; batch < 5; ++batch) {
+    biosim::Timer timer;
+    run(reps);
+    best = std::max(best, static_cast<double>(n) * reps /
+                              timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+/// Wall seconds of a scaled-down Fig. 8 run: benchmark A (20^3 proliferating
+/// cells, 5 iterations) through the full GPU v2 pipeline, metered exactly
+/// (stride 1) so the metered path dominates as it does in the full figure
+/// sweep.
+double Fig8ProxyWallSeconds() {
+  using namespace biosim;
+  Param param;
+  Simulation sim(param);
+  sim.SetEnvironment(std::make_unique<NullEnvironment>());
+  gpu::GpuMechanicsOptions gopts =
+      gpu::GpuMechanicsOptions::Version(2, DeviceSpec::GTX1080Ti());
+  gopts.meter_stride = 1;
+  sim.SetMechanicsBackend(std::make_unique<gpu::GpuMechanicalOp>(gopts));
+  bench::SetUpBenchmarkA(&sim, 20);
+  biosim::Timer timer;
+  sim.Simulate(5);
+  return timer.ElapsedSeconds();
+}
+
+void WriteBenchJson(const std::string& path) {
+  const double metered = MeteredThreadsPerSec();
+  const double fig8_s = Fig8ProxyWallSeconds();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_micro_memmodel\",\n");
+  std::fprintf(f, "  \"schema\": 1,\n");
+  std::fprintf(f,
+               "  \"metered_path\": {\"workload\": \"saxpy 64k threads, "
+               "meter_stride 1\", \"threads_per_sec\": %.0f},\n",
+               metered);
+  const char* baseline = std::getenv("BIOSIM_BENCH_BASELINE_METERED");
+  if (baseline != nullptr) {
+    const double base = std::atof(baseline);
+    std::fprintf(f,
+                 "  \"pre_refactor_baseline\": {\"threads_per_sec\": %.0f, "
+                 "\"speedup\": %.2f},\n",
+                 base, base > 0.0 ? metered / base : 0.0);
+  }
+  std::fprintf(f,
+               "  \"fig8_proxy\": {\"workload\": \"benchmark A 20^3 cells, "
+               "5 iterations, GPU v2, meter_stride 1\", "
+               "\"wall_seconds\": %.3f}\n",
+               fig8_s);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s: metered %.3g threads/s, fig8 proxy %.3f s\n",
+              path.c_str(), metered, fig8_s);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our --json flag before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    WriteBenchJson(json_path);
+  }
+  return 0;
+}

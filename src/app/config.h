@@ -21,7 +21,9 @@
 //   gpu_version = 2               ; 0..4
 //   gpu_device = 1080ti           ; 1080ti | v100
 //   meter_stride = 8
+//   parallel_blocks = false       ; host-parallel block execution (exact)
 //   sanitize = false              ; GPU sanitizer (racecheck/memcheck/synccheck)
+//   racy_grid_build = false       ; diagnostic: seed a known racy kernel
 //
 //   [output]
 //   timeseries = out.csv
@@ -62,9 +64,17 @@ struct RunConfig {
   int gpu_version = 2;
   std::string gpu_device = "1080ti";
   int meter_stride = 8;
+  /// Execute the blocks of block-independent kernels in parallel on the
+  /// host; counters stay byte-identical to the serial engine (see
+  /// GpuMechanicsOptions::parallel_blocks).
+  bool parallel_blocks = false;
   /// Run every GPU launch under the compute-sanitizer-style analysis layer
   /// (gpusim/sanitizer.h); biosim_run exits non-zero if hazards are found.
   bool sanitize = false;
+  /// Diagnostic: build the uniform grid with the deliberately racy kernel
+  /// variant so a sanitized run has something to find (sanitizer
+  /// validation; see GpuMechanicsOptions::racy_grid_build).
+  bool racy_grid_build = false;
 
   // [output]
   std::string timeseries_path;

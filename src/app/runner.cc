@@ -58,7 +58,9 @@ std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
     gpu::GpuMechanicsOptions opts =
         gpu::GpuMechanicsOptions::Version(cfg.gpu_version, std::move(spec));
     opts.meter_stride = cfg.meter_stride;
+    opts.parallel_blocks = cfg.parallel_blocks;
     opts.sanitize = cfg.sanitize;
+    opts.racy_grid_build = cfg.racy_grid_build;
     sim->SetEnvironment(std::make_unique<NullEnvironment>());
     sim->SetMechanicsBackend(std::make_unique<gpu::GpuMechanicalOp>(opts));
   }

@@ -85,6 +85,11 @@ class Simulation {
   void Simulate(uint64_t steps);
 
   uint64_t step() const { return step_; }
+  /// Set the simulation clock, e.g. when resuming from a checkpoint.
+  /// Behavior RNG streams mix the step index (SimContext::RandomFor), so a
+  /// resumed run only reproduces the uninterrupted one if it continues at
+  /// the step the checkpoint was taken.
+  void SetStep(uint64_t step) { step_ = step; }
   OpProfile& profile() { return profile_; }
 
  private:

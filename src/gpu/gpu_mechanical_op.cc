@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/timer.h"
+#include "gpu/diagnostic_kernels.h"
 #include "gpu/grid_build_kernels.h"
 #include "gpu/mech_kernel.h"
 #include "gpu/device_sort.h"
@@ -35,6 +36,7 @@ GpuMechanicalOp::GpuMechanicalOp(GpuMechanicsOptions options)
         "persistent_device_state is incompatible with per-step zorder_sort");
   }
   device().SetMeterStride(options_.meter_stride);
+  device().SetBlockParallel(options_.parallel_blocks);
   if (options_.sanitize) {
     // Before any Alloc so every buffer gets full memcheck shadow coverage.
     device().EnableSanitizer();
@@ -107,16 +109,18 @@ void GpuMechanicalOp::D2H(std::vector<T>& dst,
 
 void GpuMechanicalOp::LaunchN(
     const std::string& name, size_t n_threads,
-    const std::function<void(gpusim::BlockCtx&)>& body) {
+    const std::function<void(gpusim::BlockCtx&)>& body,
+    bool block_parallel_safe) {
   size_t block = options_.block_dim;
   std::visit(
       [&](auto& f) {
         if constexpr (std::is_same_v<std::decay_t<decltype(f)>,
                                      gpusim::cuda::Runtime>) {
           f.LaunchKernel(name, gpusim::cuda::Runtime::BlocksFor(n_threads, block),
-                         block, body);
+                         block, body, block_parallel_safe);
         } else {
-          f.EnqueueNDRangeKernel(name, n_threads, block, body);
+          f.EnqueueNDRangeKernel(name, n_threads, block, body,
+                                 block_parallel_safe);
         }
       },
       front_);
@@ -327,10 +331,23 @@ void GpuMechanicalOp::StepImpl(ResourceManager& rm, const Param& param,
   p.dt = static_cast<T>(param.simulation_time_step);
   p.max_displacement = static_cast<T>(param.simulation_max_displacement);
 
-  LaunchN("ug_reset", total_boxes,
-          [&](gpusim::BlockCtx& blk) { UgResetKernelBody(blk, s, total_boxes); });
-  LaunchN("ug_build", n,
-          [&](gpusim::BlockCtx& blk) { UgBuildKernelBody(blk, s, g, n); });
+  // Block-parallel safety: ug_reset and the mech kernels write disjoint
+  // per-box / per-agent outputs, so their blocks are independent. ug_build
+  // pushes onto the per-box linked lists with a cross-block atomicExch and
+  // must stay block-sequential (the list order is functional state).
+  LaunchN(
+      "ug_reset", total_boxes,
+      [&](gpusim::BlockCtx& blk) { UgResetKernelBody(blk, s, total_boxes); },
+      /*block_parallel_safe=*/true);
+  if (options_.racy_grid_build) {
+    // Diagnostic path: the non-atomic list push the sanitizer must catch.
+    LaunchN("ug_build_racy", n, [&](gpusim::BlockCtx& blk) {
+      RacyUgBuildKernelBody(blk, s, g, n);
+    });
+  } else {
+    LaunchN("ug_build", n,
+            [&](gpusim::BlockCtx& blk) { UgBuildKernelBody(blk, s, g, n); });
+  }
 
   if (options_.neighbor_parallel) {
     // One warp per cell: block_dim/32 cells per block.
@@ -340,18 +357,20 @@ void GpuMechanicalOp::StepImpl(ResourceManager& rm, const Param& param,
         [&](auto& f) {
           if constexpr (std::is_same_v<std::decay_t<decltype(f)>,
                                        gpusim::cuda::Runtime>) {
-            f.LaunchKernel("mech_neighbor_parallel", blocks,
-                           options_.block_dim, [&](gpusim::BlockCtx& blk) {
-                             MechNeighborParallelKernelBody(blk, s, g, n, p);
-                           });
+            f.LaunchKernel(
+                "mech_neighbor_parallel", blocks, options_.block_dim,
+                [&](gpusim::BlockCtx& blk) {
+                  MechNeighborParallelKernelBody(blk, s, g, n, p);
+                },
+                /*block_parallel_safe=*/true);
           } else {
-            f.EnqueueNDRangeKernel("mech_neighbor_parallel",
-                                   blocks * options_.block_dim,
-                                   options_.block_dim,
-                                   [&](gpusim::BlockCtx& blk) {
-                                     MechNeighborParallelKernelBody(blk, s, g,
-                                                                    n, p);
-                                   });
+            f.EnqueueNDRangeKernel(
+                "mech_neighbor_parallel", blocks * options_.block_dim,
+                options_.block_dim,
+                [&](gpusim::BlockCtx& blk) {
+                  MechNeighborParallelKernelBody(blk, s, g, n, p);
+                },
+                /*block_parallel_safe=*/true);
           }
         },
         front_);
@@ -366,22 +385,28 @@ void GpuMechanicalOp::StepImpl(ResourceManager& rm, const Param& param,
         [&](auto& f) {
           if constexpr (std::is_same_v<std::decay_t<decltype(f)>,
                                        gpusim::cuda::Runtime>) {
-            f.LaunchKernel("mech_shared", tiles, options_.block_dim,
-                           [&](gpusim::BlockCtx& blk) {
-                             MechSharedKernelBody(blk, s, g, n, p);
-                           });
+            f.LaunchKernel(
+                "mech_shared", tiles, options_.block_dim,
+                [&](gpusim::BlockCtx& blk) {
+                  MechSharedKernelBody(blk, s, g, n, p);
+                },
+                /*block_parallel_safe=*/true);
           } else {
-            f.EnqueueNDRangeKernel("mech_shared", tiles * options_.block_dim,
-                                   options_.block_dim,
-                                   [&](gpusim::BlockCtx& blk) {
-                                     MechSharedKernelBody(blk, s, g, n, p);
-                                   });
+            f.EnqueueNDRangeKernel(
+                "mech_shared", tiles * options_.block_dim,
+                options_.block_dim,
+                [&](gpusim::BlockCtx& blk) {
+                  MechSharedKernelBody(blk, s, g, n, p);
+                },
+                /*block_parallel_safe=*/true);
           }
         },
         front_);
   } else {
-    LaunchN("mech_interaction", n,
-            [&](gpusim::BlockCtx& blk) { MechKernelBody(blk, s, g, n, p); });
+    LaunchN(
+        "mech_interaction", n,
+        [&](gpusim::BlockCtx& blk) { MechKernelBody(blk, s, g, n, p); },
+        /*block_parallel_safe=*/true);
   }
   if (profile != nullptr) {
     profile->Add("gpu kernels (sim)",
@@ -413,7 +438,7 @@ void GpuMechanicalOp::StepImpl(ResourceManager& rm, const Param& param,
         apply(s.z, s.out_z);
         CountFlops<T>(t, 9);
       });
-    });
+    }, /*block_parallel_safe=*/true);
     return;
   }
 

@@ -61,11 +61,24 @@ struct GpuMechanicsOptions {
   size_t block_dim = 128;
   /// Warp-sampling stride for the performance counters (1 = exact).
   int meter_stride = 1;
+  /// Execute the blocks of block-independent kernels in parallel on the
+  /// host (core/thread_pool.h), with per-block counter shards and access
+  /// streams merged deterministically in block order — counters stay
+  /// byte-identical to the serial mode at any worker count (including 1).
+  /// Kernels that communicate across blocks (ug_build's atomicExch list
+  /// push, the radix-sort passes) always run serially. Off by default.
+  bool parallel_blocks = false;
   /// Attach the compute-sanitizer-style analysis layer (gpusim/sanitizer.h)
   /// to the device: every launch is checked for races, out-of-bounds /
   /// never-written accesses and barrier divergence. Hazards accumulate in
   /// device().sanitizer()->report().
   bool sanitize = false;
+  /// Diagnostic: build the uniform grid with the *racy* kernel variant
+  /// (diagnostic_kernels.h — the linked-list push without its atomicExch).
+  /// Exists to validate the sanitizer end to end: a sanitized run must
+  /// report the race and biosim_run must exit non-zero. Never enable in a
+  /// run whose results matter.
+  bool racy_grid_build = false;
   /// Fixed grid box edge (0 = derive from largest diameter); benchmark B.
   double fixed_box_length = 0.0;
   /// Keep agent state resident on the device across steps: displacements
@@ -139,7 +152,8 @@ class GpuMechanicalOp : public MechanicsBackend {
   template <typename T>
   void D2H(std::vector<T>& dst, const gpusim::DeviceBuffer<T>& src);
   void LaunchN(const std::string& name, size_t n_threads,
-               const std::function<void(gpusim::BlockCtx&)>& body);
+               const std::function<void(gpusim::BlockCtx&)>& body,
+               bool block_parallel_safe = false);
 
   GpuMechanicsOptions options_;
   std::variant<gpusim::cuda::Runtime, gpusim::opencl::CommandQueue> front_;

@@ -41,11 +41,15 @@ class Runtime {
     dev_.CopyFromDevice(dst, src);
   }
 
-  /// kernel<<<grid_dim, block_dim>>>(...) analog.
+  /// kernel<<<grid_dim, block_dim>>>(...) analog. `block_parallel_safe`
+  /// asserts the kernel's blocks are independent (see LaunchConfig) so the
+  /// device may execute them concurrently in block-parallel mode.
   KernelStats LaunchKernel(const std::string& name, size_t grid_dim,
                            size_t block_dim,
-                           const std::function<void(BlockCtx&)>& kernel) {
-    return dev_.Launch({name, grid_dim, block_dim}, kernel);
+                           const std::function<void(BlockCtx&)>& kernel,
+                           bool block_parallel_safe = false) {
+    return dev_.Launch({name, grid_dim, block_dim, block_parallel_safe},
+                       kernel);
   }
 
   /// Blocks-for-n helper: ceil(n / block_dim).

@@ -2,48 +2,71 @@
 
 #include <algorithm>
 
+#include "core/thread_pool.h"
+
 namespace biosim::gpusim {
 
-void WarpTracker::Flush(MemoryModel* mem, KernelStats* stats) {
+void WarpTracker::ConsumeGroup(MemoryModel* mem, KernelStats* stats,
+                               MeterBuffer* defer, bool write,
+                               const uint64_t* addrs, const uint32_t* bytes,
+                               size_t n) {
+  if (defer == nullptr) {
+    const std::vector<uint64_t>& lines =
+        mem->Coalesce(addrs, bytes, n, write, stats);
+    mem->ProbeLines(lines.data(), lines.size(), write, stats);
+  } else {
+    // Deferred (block-parallel) path: chunks run concurrently against one
+    // MemoryModel, so coalesce into the shard's own scratch — the member
+    // scratch inside Coalesce() is shared state.
+    mem->CoalesceInto(&defer->coalesce_scratch, addrs, bytes, n, write,
+                      stats);
+    for (uint64_t line : defer->coalesce_scratch) {
+      defer->line_entries.push_back((line << 1) |
+                                    static_cast<uint64_t>(write));
+    }
+  }
+}
+
+void WarpTracker::Flush(MemoryModel* mem, KernelStats* stats,
+                        MeterBuffer* defer) {
   if (!metered_) {
     return;
   }
 
-  for (const auto& site : read_sites_) {
-    if (!site.empty()) {
-      mem->AccessWarp(site, /*write=*/false, stats);
-    }
-  }
-  for (const auto& site : write_sites_) {
-    if (!site.empty()) {
-      mem->AccessWarp(site, /*write=*/true, stats);
-    }
-  }
-
-  // Atomics: charge the traffic like writes and count warp-internal address
-  // conflicts — k lanes updating the same address serialize into k steps,
-  // k-1 of which are stalls.
-  for (const auto& site : atomic_sites_) {
-    if (site.empty()) {
-      continue;
-    }
-    mem->AccessWarp(site, /*write=*/true, stats);
-    stats->atomic_ops += site.size();
-    // Count per-address multiplicity.
-    std::vector<uint64_t> addrs;
-    addrs.reserve(site.size());
-    for (const auto& a : site) {
-      addrs.push_back(a.addr);
-    }
-    std::sort(addrs.begin(), addrs.end());
-    size_t i = 0;
-    while (i < addrs.size()) {
-      size_t j = i;
-      while (j < addrs.size() && addrs[j] == addrs[i]) {
-        ++j;
+  // The stream is pre-grouped: walk the (kind, seq) rows in the legacy
+  // consumption order — read seqs ascending, then write seqs, then atomic
+  // seqs; lane order within a row — feeding each row to the coalescer in
+  // place.
+  for (size_t kind = 0; kind < WarpAccessStream::kKinds; ++kind) {
+    const bool atomic = kind == static_cast<size_t>(StreamKind::kAtomic);
+    const bool write = kind != static_cast<size_t>(StreamKind::kRead);
+    const size_t rows = stream_.rows(kind);
+    for (size_t seq = 0; seq < rows; ++seq) {
+      const size_t n = stream_.count(kind, seq);
+      if (n == 0) {
+        continue;
       }
-      stats->atomic_serialized += (j - i) - 1;
-      i = j;
+      uint64_t* addrs = stream_.addr_row(kind, seq);
+      // Atomics charge their traffic like writes.
+      ConsumeGroup(mem, stats, defer, write, addrs,
+                   stream_.bytes_row(kind, seq), n);
+      if (!atomic) {
+        continue;
+      }
+      // Atomic serialization: k lanes updating the same address serialize
+      // into k steps, k-1 of which are stalls. The row has been consumed,
+      // so the in-place sort is safe.
+      stats->atomic_ops += n;
+      std::sort(addrs, addrs + n);
+      size_t i = 0;
+      while (i < n) {
+        size_t j = i;
+        while (j < n && addrs[j] == addrs[i]) {
+          ++j;
+        }
+        stats->atomic_serialized += (j - i) - 1;
+        i = j;
+      }
     }
   }
 
@@ -80,17 +103,29 @@ KernelStats Device::Launch(const LaunchConfig& cfg,
   if (sanitizer_) {
     sanitizer_->BeginLaunch(cfg.name, cfg.grid_dim, cfg.block_dim);
   }
-  size_t warp_counter = 0;
-  for (size_t b = 0; b < cfg.grid_dim; ++b) {
-    BlockCtx ctx(b, cfg.block_dim, cfg.grid_dim, &spec_, &mem_, &raw,
-                 &warp_counter, stride_, sanitizer_.get());
-    if (sanitizer_) {
-      sanitizer_->BeginBlock(b);
-    }
-    kernel(ctx);
-    if (sanitizer_) {
-      sanitizer_->EndBlock(b, ctx.phases_run_, ctx.shared_used_,
-                           ctx.arena_.size());
+  // The block-parallel engine requires independent blocks (the kernel's
+  // contract via block_parallel_safe) and whole-launch metering state that
+  // shards cleanly: the sanitizer's race detector and the warp-sampling
+  // counter are both stateful across blocks, so those launches stay on the
+  // block-sequential engine.
+  const bool parallel = block_parallel_ && cfg.block_parallel_safe &&
+                        sanitizer_ == nullptr && stride_ == 1 &&
+                        cfg.grid_dim > 1;
+  if (parallel) {
+    LaunchBlocksParallel(cfg, kernel, &raw);
+  } else {
+    size_t warp_counter = 0;
+    for (size_t b = 0; b < cfg.grid_dim; ++b) {
+      BlockCtx ctx(b, cfg.block_dim, cfg.grid_dim, &spec_, &mem_, &raw,
+                   &warp_counter, stride_, sanitizer_.get());
+      if (sanitizer_) {
+        sanitizer_->BeginBlock(b);
+      }
+      kernel(ctx);
+      if (sanitizer_) {
+        sanitizer_->EndBlock(b, ctx.phases_run_, ctx.shared_used_,
+                             ctx.arena_.size());
+      }
     }
   }
 
@@ -124,6 +159,43 @@ KernelStats Device::Launch(const LaunchConfig& cfg,
   kernel_ms_ += raw.total_ms;
   history_.push_back(raw);
   return raw;
+}
+
+void Device::LaunchBlocksParallel(
+    const LaunchConfig& cfg, const std::function<void(BlockCtx&)>& kernel,
+    KernelStats* raw) {
+  // Contiguous block chunks, one shard each. The chunk count only sets the
+  // parallel grain — the merge below is chunk-count-invariant, so any
+  // worker count (including 1) produces the same counters.
+  const size_t workers = std::max<size_t>(1, HardwareThreads());
+  const size_t n_chunks = std::min(cfg.grid_dim, workers);
+  const size_t chunk = (cfg.grid_dim + n_chunks - 1) / n_chunks;
+  std::vector<MeterBuffer> shards(n_chunks);
+  ParallelFor(ExecMode::kParallel, n_chunks, [&](size_t c) {
+    MeterBuffer& shard = shards[c];
+    const size_t begin = c * chunk;
+    const size_t end = std::min(cfg.grid_dim, begin + chunk);
+    size_t warp_counter = 0;  // stride is 1 on this path: every warp meters
+    for (size_t b = begin; b < end; ++b) {
+      BlockCtx ctx(b, cfg.block_dim, cfg.grid_dim, &spec_, &mem_,
+                   &shard.stats, &warp_counter, /*stride=*/1,
+                   /*san=*/nullptr, &shard);
+      kernel(ctx);
+    }
+  });
+  // Deterministic merge. The caches are the only cross-block metering
+  // state, so the buffered line transactions replay through L1/L2 strictly
+  // in block order (chunks are contiguous ranges: shard order IS block
+  // order) — the exact probe sequence the block-sequential engine would
+  // have issued. The shards' remaining counters are order-independent sums
+  // (and one max), folded in chunk order.
+  for (MeterBuffer& shard : shards) {
+    for (uint64_t entry : shard.line_entries) {
+      const uint64_t line = entry >> 1;
+      mem_.ProbeLines(&line, 1, /*write=*/(entry & 1) != 0, raw);
+    }
+    raw->Accumulate(shard.stats);
+  }
 }
 
 KernelStats Device::AddModeledKernel(const std::string& name,

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "gpusim/access_stream.h"
 #include "gpusim/device_spec.h"
 #include "gpusim/kernel_stats.h"
 #include "gpusim/memory_model.h"
@@ -88,15 +89,18 @@ class DeviceBuffer {
   std::shared_ptr<BufferShadow> shadow_;
 };
 
-/// Tracks one warp's accounting while its lanes execute.
+/// Tracks one warp's accounting while its lanes execute. Global accesses
+/// append to one flat pre-grouped stream (access_stream.h); Flush walks the
+/// (kind, seq) rows in the exact legacy order (reads by seq, then writes,
+/// then atomics; lane order within a group) and feeds each row to the
+/// coalescer in place. All buffers retain their capacity across warps, so
+/// the steady-state hot path never allocates.
 class WarpTracker {
  public:
   void Reset(bool metered, size_t active_lanes) {
     metered_ = metered;
     active_lanes_ = active_lanes;
-    read_sites_.clear();
-    write_sites_.clear();
-    atomic_sites_.clear();
+    stream_.Clear();
     std::fill(std::begin(lane_ops_), std::end(lane_ops_), uint64_t{0});
     std::fill(std::begin(lane_mem_ops_), std::end(lane_mem_ops_),
               uint64_t{0});
@@ -105,35 +109,37 @@ class WarpTracker {
   bool metered() const { return metered_; }
 
   void RecordRead(size_t seq, uint64_t addr, uint32_t bytes) {
-    if (read_sites_.size() <= seq) {
-      read_sites_.resize(seq + 1);
-    }
-    read_sites_[seq].push_back({addr, bytes});
+    stream_.Append(StreamKind::kRead, static_cast<uint32_t>(seq), addr,
+                   bytes);
   }
   void RecordWrite(size_t seq, uint64_t addr, uint32_t bytes) {
-    if (write_sites_.size() <= seq) {
-      write_sites_.resize(seq + 1);
-    }
-    write_sites_[seq].push_back({addr, bytes});
+    stream_.Append(StreamKind::kWrite, static_cast<uint32_t>(seq), addr,
+                   bytes);
   }
   void RecordAtomic(size_t seq, uint64_t addr, uint32_t bytes) {
-    if (atomic_sites_.size() <= seq) {
-      atomic_sites_.resize(seq + 1);
-    }
-    atomic_sites_[seq].push_back({addr, bytes});
+    stream_.Append(StreamKind::kAtomic, static_cast<uint32_t>(seq), addr,
+                   bytes);
   }
   void AddLaneOps(size_t warp_lane, uint64_t n) { lane_ops_[warp_lane] += n; }
   void AddLaneMemOp(size_t warp_lane) { lane_mem_ops_[warp_lane] += 1; }
 
-  /// Push this warp's accounting into the memory model and raw stats.
-  void Flush(MemoryModel* mem, KernelStats* stats);
+  /// Consume this warp's access stream: coalesce every instruction group
+  /// and either probe the caches immediately (defer == nullptr, the serial
+  /// engine) or buffer the line transactions into `defer` for an in-block-
+  /// order replay (the block-parallel engine). Divergence and atomic
+  /// accounting land in `stats` either way.
+  void Flush(MemoryModel* mem, KernelStats* stats,
+             MeterBuffer* defer = nullptr);
 
  private:
+  /// Feed one coalesced instruction group to the caches or the buffer.
+  void ConsumeGroup(MemoryModel* mem, KernelStats* stats, MeterBuffer* defer,
+                    bool write, const uint64_t* addrs, const uint32_t* bytes,
+                    size_t n);
+
   bool metered_ = false;
   size_t active_lanes_ = 32;
-  std::vector<std::vector<LaneAccess>> read_sites_;
-  std::vector<std::vector<LaneAccess>> write_sites_;
-  std::vector<std::vector<LaneAccess>> atomic_sites_;
+  WarpAccessStream stream_;
   uint64_t lane_ops_[32] = {};
   uint64_t lane_mem_ops_[32] = {};
 };
@@ -461,7 +467,7 @@ class BlockCtx {
         body(t);
         t.CommitFlops();
       }
-      wt_.Flush(mem_, raw_);
+      wt_.Flush(mem_, raw_, defer_);
     }
   }
 
@@ -471,7 +477,8 @@ class BlockCtx {
 
   BlockCtx(size_t block, size_t block_dim, size_t grid_dim,
            const DeviceSpec* spec, MemoryModel* mem, KernelStats* raw,
-           size_t* warp_counter, int stride, Sanitizer* san)
+           size_t* warp_counter, int stride, Sanitizer* san,
+           MeterBuffer* defer = nullptr)
       : block_(block),
         block_dim_(block_dim),
         grid_dim_(grid_dim),
@@ -481,7 +488,8 @@ class BlockCtx {
         warp_counter_(*warp_counter),
         stride_(stride),
         warp_counter_ref_(warp_counter),
-        san_(san) {}
+        san_(san),
+        defer_(defer) {}
 
   ~BlockCtx() { *warp_counter_ref_ = warp_counter_; }
 
@@ -493,6 +501,7 @@ class BlockCtx {
   int stride_;
   size_t* warp_counter_ref_;
   Sanitizer* san_;
+  MeterBuffer* defer_;  // non-null only on the block-parallel path
   WarpTracker wt_;
   size_t shared_used_ = 0;
   size_t phases_run_ = 0;  // barrier intervals executed (synccheck input)
@@ -504,6 +513,12 @@ struct LaunchConfig {
   std::string name;
   size_t grid_dim = 1;   // blocks
   size_t block_dim = 1;  // threads per block
+  /// Kernel contract: blocks neither communicate nor overlap writes through
+  /// global memory, so the device may execute them concurrently when block-
+  /// parallel mode is on (Device::SetBlockParallel). Kernels with cross-
+  /// block coupling — ug_build's atomicExch linked-list push, the radix-
+  /// sort passes — must leave this false and always run block-sequentially.
+  bool block_parallel_safe = false;
 };
 
 /// A simulated GPU. Owns the address space, the memory model, the simulated
@@ -525,6 +540,20 @@ class Device {
     mem_ = MemoryModel(SampledSpec(spec_, stride));
   }
   int meter_stride() const { return stride_; }
+
+  /// Block-parallel execution: run the blocks of launches flagged
+  /// block_parallel_safe concurrently on the host thread pool
+  /// (core/thread_pool.h). Metering stays *byte-identical* to the
+  /// block-sequential engine at any worker count: blocks are partitioned
+  /// into contiguous chunks, each chunk accumulates the order-independent
+  /// integer counters into a private shard and buffers its coalesced line
+  /// transactions, and the launch then replays the transactions through the
+  /// shared L1/L2 strictly in block order before folding the shards in
+  /// chunk order. Launches that attach a sanitizer or sample warps
+  /// (meter_stride > 1) fall back to the sequential engine — both are
+  /// stateful across blocks in ways a shard cannot capture.
+  void SetBlockParallel(bool on) { block_parallel_ = on; }
+  bool block_parallel() const { return block_parallel_; }
 
   /// Attach the compute-sanitizer-style analysis layer (sanitizer.h). Every
   /// subsequent Launch is checked; hazards accumulate in
@@ -609,6 +638,11 @@ class Device {
   const std::vector<KernelStats>& history() const { return history_; }
 
  private:
+  /// Block-parallel engine behind Launch (device.cc).
+  void LaunchBlocksParallel(const LaunchConfig& cfg,
+                            const std::function<void(BlockCtx&)>& kernel,
+                            KernelStats* raw);
+
   static DeviceSpec SampledSpec(const DeviceSpec& spec, int stride) {
     DeviceSpec s = spec;
     s.l2_capacity_bytes =
@@ -624,6 +658,7 @@ class Device {
   MemoryModel mem_;
   std::unique_ptr<Sanitizer> sanitizer_;
   int stride_ = 1;
+  bool block_parallel_ = false;
   uint64_t next_addr_ = 1ull << 20;
   uint64_t allocated_bytes_ = 0;
   TransferStats transfers_;

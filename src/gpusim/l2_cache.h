@@ -7,6 +7,7 @@
 #ifndef BIOSIM_GPUSIM_L2_CACHE_H_
 #define BIOSIM_GPUSIM_L2_CACHE_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -18,6 +19,11 @@ class L2Cache {
   L2Cache(size_t capacity_bytes, int line_bytes, int associativity)
       : line_bytes_(static_cast<uint64_t>(line_bytes)),
         ways_(static_cast<size_t>(associativity)) {
+    assert(line_bytes > 0 && (line_bytes_ & (line_bytes_ - 1)) == 0 &&
+           "cache line size must be a power of two");
+    while ((uint64_t{1} << line_shift_) < line_bytes_) {
+      ++line_shift_;
+    }
     num_sets_ = capacity_bytes / (line_bytes_ * ways_);
     if (num_sets_ == 0) {
       num_sets_ = 1;
@@ -28,7 +34,7 @@ class L2Cache {
 
   /// Probe (and fill on miss) the line containing `addr`; true on hit.
   bool Access(uint64_t addr) {
-    uint64_t line = addr / line_bytes_;
+    uint64_t line = addr >> line_shift_;
     size_t set = static_cast<size_t>(line % num_sets_);
     uint64_t* tags = &sets_[set * ways_];
     uint64_t* st = &stamps_[set * ways_];
@@ -63,6 +69,7 @@ class L2Cache {
  private:
   static constexpr uint64_t kInvalid = ~uint64_t{0};
   uint64_t line_bytes_;
+  int line_shift_ = 0;
   size_t ways_;
   size_t num_sets_;
   std::vector<uint64_t> sets_;    // line tags, [set][way]

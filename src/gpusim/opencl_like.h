@@ -39,12 +39,17 @@ class CommandQueue {
   /// clEnqueueNDRangeKernel analog: `global_size` work-items in work-groups
   /// of `local_size`. global_size is rounded up to a multiple of local_size
   /// (as required by OpenCL <2.0); kernels guard the tail themselves.
+  /// `block_parallel_safe` asserts the work-groups are independent (see
+  /// LaunchConfig) so the device may execute them concurrently in
+  /// block-parallel mode.
   KernelStats EnqueueNDRangeKernel(
       const std::string& name, size_t global_size, size_t local_size,
-      const std::function<void(BlockCtx&)>& kernel) {
+      const std::function<void(BlockCtx&)>& kernel,
+      bool block_parallel_safe = false) {
     assert(local_size >= 1);
     size_t groups = (global_size + local_size - 1) / local_size;
-    return dev_.Launch({name, groups, local_size}, kernel);
+    return dev_.Launch({name, groups, local_size, block_parallel_safe},
+                       kernel);
   }
 
  private:

@@ -125,6 +125,21 @@ TEST(ConfigTest, SanitizeFlagParsesAndRequiresGpu) {
       std::runtime_error);
 }
 
+TEST(ConfigTest, ParallelBlocksAndRacyGridBuildParseAndRequireGpu) {
+  RunConfig cfg = ParseConfigString(
+      "[backend]\ntype = gpu\nparallel_blocks = true\n"
+      "racy_grid_build = true\n");
+  EXPECT_TRUE(cfg.parallel_blocks);
+  EXPECT_TRUE(cfg.racy_grid_build);
+  EXPECT_FALSE(ParseConfigString("[backend]\ntype = gpu\n").parallel_blocks);
+  EXPECT_FALSE(ParseConfigString("[backend]\ntype = gpu\n").racy_grid_build);
+  // Both knobs configure the simulated device: CPU runs reject them.
+  EXPECT_THROW(ParseConfigString("[backend]\nparallel_blocks = true\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseConfigString("[backend]\nracy_grid_build = true\n"),
+               std::invalid_argument);
+}
+
 TEST(ConfigTest, ValidationRejectsBadEnumValues) {
   EXPECT_THROW(ParseConfigString("[model]\ntype = banana\n"),
                std::invalid_argument);

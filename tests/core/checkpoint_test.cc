@@ -153,5 +153,72 @@ TEST(CheckpointTest, ResumedSimulationEvolvesIdentically) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, PopulationWithBehaviorsResumesIdentically) {
+  // A proliferating (GrowDivide) population checkpointed mid-run must
+  // evolve identically after restore: the behavior-derived state —
+  // volumes/diameters mid-growth and the uid counter feeding the per-agent
+  // division RNG streams — all live in the serialized arrays. Behaviors
+  // themselves are code, not data (checkpoint.h): the resuming side
+  // re-attaches them and restores the simulation clock, which the division
+  // RNG also mixes.
+  constexpr double kThreshold = 16.0;
+  constexpr double kGrowthRate = 100000.0;  // divide within a few steps
+  auto make = []() {
+    Param p;
+    p.random_seed = 17;
+    p.max_bound = 400.0;
+    Simulation sim(p);
+    return sim;
+  };
+  auto attach_all = [&](Simulation* sim) {
+    for (size_t i = 0; i < sim->rm().size(); ++i) {
+      sim->rm().AttachBehavior(
+          i, std::make_unique<GrowDivide>(kThreshold, kGrowthRate));
+    }
+  };
+
+  // Uninterrupted: 6 steps of growth + division.
+  Simulation full = make();
+  full.Create3DCellGrid(4, 15.0, 8.0, kThreshold, kGrowthRate);
+  const size_t initial = full.rm().size();
+  full.Simulate(6);
+  ASSERT_GT(full.rm().size(), initial) << "workload must actually divide";
+
+  // Interrupted at step 3: save, load into a fresh simulation, re-attach
+  // the behaviors, restore the clock, run the remaining 3 steps.
+  Simulation first = make();
+  first.Create3DCellGrid(4, 15.0, 8.0, kThreshold, kGrowthRate);
+  first.Simulate(3);
+  std::string path = TempPath("behaviors.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(first.rm(), path));
+  const size_t at_checkpoint = first.rm().size();
+
+  Simulation resumed = make();
+  ASSERT_TRUE(LoadCheckpoint(&resumed.rm(), path));
+  ASSERT_EQ(resumed.rm().size(), at_checkpoint);
+  EXPECT_EQ(resumed.rm().diameters(), first.rm().diameters());
+  EXPECT_EQ(resumed.rm().volumes(), first.rm().volumes());
+  attach_all(&resumed);
+  resumed.SetStep(first.step());
+  resumed.Simulate(3);
+
+  // Divisions continue across the restore (behavior state survived) and the
+  // two runs are interchangeable agent by agent.
+  EXPECT_GT(resumed.rm().size(), at_checkpoint)
+      << "restored population stopped proliferating";
+  ASSERT_EQ(resumed.rm().size(), full.rm().size());
+  for (size_t i = 0; i < full.rm().size(); ++i) {
+    ASSERT_EQ(resumed.rm().uids()[i], full.rm().uids()[i]);
+    ASSERT_NEAR(resumed.rm().positions()[i].x, full.rm().positions()[i].x,
+                1e-12);
+    ASSERT_NEAR(resumed.rm().positions()[i].y, full.rm().positions()[i].y,
+                1e-12);
+    ASSERT_NEAR(resumed.rm().positions()[i].z, full.rm().positions()[i].z,
+                1e-12);
+    ASSERT_NEAR(resumed.rm().diameters()[i], full.rm().diameters()[i], 1e-12);
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace biosim
