@@ -139,6 +139,26 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
 
+  obs::json::Value results = obs::json::Value::MakeObject();
+  results.Set("agents", agents);
+  obs::json::Value jrows = obs::json::Value::MakeArray();
+  for (const Row& r : rows) {
+    obs::json::Value jr = obs::json::Value::MakeObject();
+    jr.Set("density_target", r.density_target);
+    jr.Set("density_measured", r.density_measured);
+    jr.Set("serial_ms", r.serial_ms);
+    obs::json::Value mt = obs::json::Value::MakeObject();
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      mt.Set("x" + std::to_string(thread_counts[i]), r.mt_ms[i]);
+    }
+    jr.Set("cpu_projected_ms", std::move(mt));
+    jr.Set("gpu_ms", r.gpu_ms);
+    jrows.Append(std::move(jr));
+  }
+  results.Set("rows", std::move(jrows));
+  bench::WriteBenchReport(opts, "bench_fig10_fig11_benchmark_b",
+                          std::move(results));
+
   std::printf(
       "\npaper reference bands: 160x-232x vs 4 threads, 71x-113x vs 64\n"
       "threads, with the GPU gain stagnating toward high density (the\n"

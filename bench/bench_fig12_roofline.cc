@@ -88,5 +88,23 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape: kernel points near the HBM roof, ~10x below the\n"
       "FP32 peak; L2 share increases with density.\n");
+
+  obs::json::Value results = obs::json::Value::MakeObject();
+  obs::json::Value jceil = obs::json::Value::MakeObject();
+  jceil.Set("fp32_peak_gflops", ceilings.fp32_peak_gflops);
+  jceil.Set("dram_bandwidth_gbps", ceilings.dram_bandwidth_gbps);
+  jceil.Set("l2_bandwidth_gbps", ceilings.l2_bandwidth_gbps);
+  results.Set("ceilings", std::move(jceil));
+  obs::json::Value jpts = obs::json::Value::MakeArray();
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    obs::json::Value jp = obs::json::Value::MakeObject();
+    jp.Set("label", kernels[i].label);
+    jp.Set("ai_flop_per_byte", kernels[i].arithmetic_intensity);
+    jp.Set("gflops", kernels[i].gflops);
+    jp.Set("l2_read_hit_fraction", l2_fracs[i]);
+    jpts.Append(std::move(jp));
+  }
+  results.Set("kernel_points", std::move(jpts));
+  bench::WriteBenchReport(opts, "bench_fig12_roofline", std::move(results));
   return 0;
 }

@@ -37,5 +37,20 @@ int main(int argc, char** argv) {
               100.0 * neigh / total);
   std::printf("  together             paper ~87%%   measured %5.1f%%\n",
               100.0 * (mech + neigh) / total);
+
+  obs::json::Value results = obs::json::Value::MakeObject();
+  results.Set("final_cells", sim.rm().size());
+  obs::json::Value ops = obs::json::Value::MakeArray();
+  for (const auto& e : p.entries()) {
+    obs::json::Value op = obs::json::Value::MakeObject();
+    op.Set("name", e.name);
+    op.Set("total_ms", e.total_ms());
+    op.Set("calls", e.calls());
+    op.Set("share", e.total_ms() / total);
+    op.Set("p95_ms", e.hist.Percentile(0.95));
+    ops.Append(std::move(op));
+  }
+  results.Set("ops", std::move(ops));
+  bench::WriteBenchReport(opts, "bench_fig3_profile", std::move(results));
   return 0;
 }

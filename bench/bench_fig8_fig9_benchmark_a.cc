@@ -134,5 +134,20 @@ int main(int argc, char** argv) {
               v1 / v2);
   std::printf("  v3 vs v2 (shared memory)        paper 0.78x   measured %4.2fx\n",
               v2 / v3);
+
+  obs::json::Value results = obs::json::Value::MakeObject();
+  results.Set("initial_cells", cells * cells * cells);
+  obs::json::Value jrows = obs::json::Value::MakeArray();
+  for (const Row& r : rows) {
+    obs::json::Value jr = obs::json::Value::MakeObject();
+    jr.Set("implementation", r.name);
+    jr.Set("time_ms", r.ms);
+    jr.Set("final_cells", r.agents);
+    jr.Set("speedup_vs_serial", serial_kd / r.ms);
+    jrows.Append(std::move(jr));
+  }
+  results.Set("rows", std::move(jrows));
+  bench::WriteBenchReport(opts, "bench_fig8_fig9_benchmark_a",
+                          std::move(results));
   return 0;
 }

@@ -25,6 +25,8 @@
 #include "core/simulation.h"
 #include "core/timer.h"
 #include "gpu/gpu_mechanical_op.h"
+#include "obs/json.h"
+#include "obs/report.h"
 #include "perfmodel/cpu_model.h"
 #include "spatial/kd_tree.h"
 #include "spatial/null_environment.h"
@@ -41,6 +43,7 @@ struct Options {
   int iterations = 10;      // both benchmarks use 10 iterations
   int meter_stride = 8;     // GPU counter sampling (1 = exact, slower)
   std::string csv_prefix;   // write plot-ready CSVs as <prefix>_<name>.csv
+  std::string json_path;    // write a machine-readable run report here
 
   static Options Parse(int argc, char** argv) {
     Options o;
@@ -59,10 +62,12 @@ struct Options {
         o.meter_stride = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
         o.csv_prefix = argv[++i];
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        o.json_path = argv[++i];
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
             "flags: --full | --cells N | --agents N | --iterations N | "
-            "--meter-stride N | --csv PREFIX | --profile\n");
+            "--meter-stride N | --csv PREFIX | --json PATH | --profile\n");
         std::exit(0);
       }
     }
@@ -172,6 +177,28 @@ inline void PrintHeader(const char* what) {
   std::printf("==========================================================\n");
   std::printf("%s\n", what);
   std::printf("==========================================================\n");
+}
+
+/// Write the bench's machine-readable run report (obs/report.h shape:
+/// report_version + tool + environment + options echo + the bench's
+/// `results` section) to --json PATH. No-op when --json was not given.
+inline void WriteBenchReport(const Options& opts, const std::string& tool,
+                             obs::json::Value results) {
+  if (opts.json_path.empty()) {
+    return;
+  }
+  obs::json::Value report = obs::MakeRunReport(tool);
+  obs::json::Value o = obs::json::Value::MakeObject();
+  o.Set("full", opts.full);
+  o.Set("iterations", opts.iterations);
+  o.Set("meter_stride", opts.meter_stride);
+  report.Set("options", std::move(o));
+  report.Set("results", std::move(results));
+  if (!obs::WriteReportFile(report, opts.json_path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", opts.json_path.c_str());
+  } else {
+    std::printf("\nwrote report %s\n", opts.json_path.c_str());
+  }
 }
 
 }  // namespace biosim::bench

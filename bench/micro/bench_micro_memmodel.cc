@@ -21,6 +21,8 @@
 #include "core/timer.h"
 #include "gpusim/device.h"
 #include "gpusim/memory_model.h"
+#include "obs/json.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -170,35 +172,38 @@ double Fig8ProxyWallSeconds() {
 }
 
 void WriteBenchJson(const std::string& path) {
+  namespace json = biosim::obs::json;
   const double metered = MeteredThreadsPerSec();
   const double fig8_s = Fig8ProxyWallSeconds();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    std::exit(1);
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"bench_micro_memmodel\",\n");
-  std::fprintf(f, "  \"schema\": 1,\n");
-  std::fprintf(f,
-               "  \"metered_path\": {\"workload\": \"saxpy 64k threads, "
-               "meter_stride 1\", \"threads_per_sec\": %.0f},\n",
-               metered);
+
+  // The historical BENCH_gpusim.json keys (bench, schema, metered_path,
+  // pre_refactor_baseline, fig8_proxy) are preserved for the CI trajectory
+  // tooling; report_version + environment are the obs/report.h additions.
+  json::Value doc = biosim::obs::MakeRunReport("bench_micro_memmodel");
+  doc.Set("bench", "bench_micro_memmodel");
+  doc.Set("schema", 1);
+  json::Value mp = json::Value::MakeObject();
+  mp.Set("workload", "saxpy 64k threads, meter_stride 1");
+  mp.Set("threads_per_sec", std::floor(metered));
+  doc.Set("metered_path", std::move(mp));
   const char* baseline = std::getenv("BIOSIM_BENCH_BASELINE_METERED");
   if (baseline != nullptr) {
     const double base = std::atof(baseline);
-    std::fprintf(f,
-                 "  \"pre_refactor_baseline\": {\"threads_per_sec\": %.0f, "
-                 "\"speedup\": %.2f},\n",
-                 base, base > 0.0 ? metered / base : 0.0);
+    json::Value pb = json::Value::MakeObject();
+    pb.Set("threads_per_sec", std::floor(base));
+    pb.Set("speedup", base > 0.0 ? metered / base : 0.0);
+    doc.Set("pre_refactor_baseline", std::move(pb));
   }
-  std::fprintf(f,
-               "  \"fig8_proxy\": {\"workload\": \"benchmark A 20^3 cells, "
-               "5 iterations, GPU v2, meter_stride 1\", "
-               "\"wall_seconds\": %.3f}\n",
-               fig8_s);
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  json::Value fp = json::Value::MakeObject();
+  fp.Set("workload",
+         "benchmark A 20^3 cells, 5 iterations, GPU v2, meter_stride 1");
+  fp.Set("wall_seconds", fig8_s);
+  doc.Set("fig8_proxy", std::move(fp));
+
+  if (!biosim::obs::WriteReportFile(doc, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
   std::printf("wrote %s: metered %.3g threads/s, fig8 proxy %.3f s\n",
               path.c_str(), metered, fig8_s);
 }

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts produced by biosim_run.
+
+Checks that a Chrome-trace JSON, a metrics JSONL stream, and a run-report
+JSON are well-formed and match the schemas documented in
+docs/observability.md. Used by CI after the traced smoke run; handy locally
+too:
+
+    biosim_run cfg.ini --trace t.json --metrics m.jsonl --report r.json
+    scripts/validate_obs.py --trace t.json --metrics m.jsonl --report r.json
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_REPORT_VERSION = 1
+
+
+def fail(msg):
+    print(f"validate_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path, what):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{what} {path}: {e}")
+
+
+def validate_trace(path):
+    doc = load(path, "trace")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    if "dropped_events" not in doc.get("otherData", {}):
+        fail(f"{path}: otherData.dropped_events missing")
+
+    processes = {}  # pid -> name
+    spans = 0
+    last_ts = {}  # (pid, tid) -> ts
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") == "process_name":
+                processes[e["pid"]] = e["args"]["name"]
+            continue
+        if ph != "X":
+            fail(f"{path}: event {i} has unexpected phase {ph!r}")
+        for key in ("name", "pid", "tid", "ts", "dur"):
+            if key not in e:
+                fail(f"{path}: span {i} missing {key!r}")
+        if e["dur"] < 0:
+            fail(f"{path}: span {i} ({e['name']}) has negative duration")
+        track = (e["pid"], e["tid"])
+        if e["ts"] < last_ts.get(track, float("-inf")):
+            fail(f"{path}: timestamps regress on track {track}")
+        last_ts[track] = e["ts"]
+        spans += 1
+
+    if spans == 0:
+        fail(f"{path}: no spans recorded")
+    if "host" not in processes.values():
+        fail(f"{path}: no 'host' process track")
+    print(f"validate_obs: trace OK: {spans} spans, "
+          f"{len(processes)} processes ({', '.join(processes.values())}), "
+          f"{doc['otherData']['dropped_events']} dropped")
+
+
+def validate_metrics(path):
+    lines = 0
+    prev_step = 0
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                fail(f"{path}:{lineno}: blank line in JSONL stream")
+            try:
+                snap = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: {e}")
+            step = snap.get("step")
+            if not isinstance(step, int) or step <= prev_step:
+                fail(f"{path}:{lineno}: step {step!r} not increasing")
+            prev_step = step
+            if not any(k in snap for k in
+                       ("counters", "gauges", "histograms")):
+                fail(f"{path}:{lineno}: snapshot has no metric sections")
+            lines += 1
+    if lines == 0:
+        fail(f"{path}: no snapshots")
+    print(f"validate_obs: metrics OK: {lines} snapshots, "
+          f"last step {prev_step}")
+
+
+def validate_report(path):
+    doc = load(path, "report")
+    version = doc.get("report_version")
+    if version != EXPECTED_REPORT_VERSION:
+        fail(f"{path}: report_version {version!r}, expected "
+             f"{EXPECTED_REPORT_VERSION}")
+    for key in ("tool", "environment", "config"):
+        if key not in doc:
+            fail(f"{path}: missing {key!r}")
+    if "compiler" not in doc["environment"]:
+        fail(f"{path}: environment.compiler missing")
+    print(f"validate_obs: report OK: tool={doc['tool']} "
+          f"version={version}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome-trace JSON to validate")
+    parser.add_argument("--metrics", help="metrics JSONL to validate")
+    parser.add_argument("--report", help="run-report JSON to validate")
+    args = parser.parse_args()
+    if not (args.trace or args.metrics or args.report):
+        parser.error("nothing to validate; pass --trace/--metrics/--report")
+    if args.trace:
+        validate_trace(args.trace)
+    if args.metrics:
+        validate_metrics(args.metrics)
+    if args.report:
+        validate_report(args.report)
+
+
+if __name__ == "__main__":
+    main()

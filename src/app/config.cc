@@ -107,6 +107,9 @@ void RunConfig::Validate() const {
   if (cells_per_dim == 0 && model_type == "cell_division") {
     fail("cells_per_dim must be >= 1");
   }
+  if (metrics_every == 0) {
+    fail("metrics_every must be >= 1");
+  }
 }
 
 RunConfig ParseConfigString(const std::string& text) {
@@ -181,6 +184,11 @@ RunConfig ParseConfigString(const std::string& text) {
       {"csv", [&](const std::string& v, size_t) { cfg.csv_path = v; }},
       {"checkpoint",
        [&](const std::string& v, size_t) { cfg.checkpoint_path = v; }},
+      {"trace", [&](const std::string& v, size_t) { cfg.trace_path = v; }},
+      {"metrics", [&](const std::string& v, size_t) { cfg.metrics_path = v; }},
+      {"metrics_every",
+       [&](const std::string& v, size_t l) { cfg.metrics_every = ToU64(v, l); }},
+      {"report", [&](const std::string& v, size_t) { cfg.report_path = v; }},
   };
 
   std::istringstream in(text);

@@ -30,6 +30,10 @@
 //   vtk = final.vtk
 //   csv = final.csv
 //   checkpoint = final.ckpt
+//   trace = trace.json            ; Chrome/Perfetto trace of the run
+//   metrics = metrics.jsonl       ; per-step metrics snapshots (JSON lines)
+//   metrics_every = 1             ; snapshot cadence in steps
+//   report = report.json          ; machine-readable run report
 //
 // Lines starting with '#' or ';' are comments; keys are section-scoped.
 // Unknown sections/keys are errors (typos should not be silent).
@@ -81,6 +85,16 @@ struct RunConfig {
   std::string vtk_path;
   std::string csv_path;
   std::string checkpoint_path;
+  /// Chrome-trace-event JSON timeline (host spans + virtual GPU tracks);
+  /// empty disables tracing entirely (zero hot-loop overhead).
+  std::string trace_path;
+  /// JSON-lines file of per-step metrics snapshots; empty disables.
+  std::string metrics_path;
+  /// Snapshot cadence: write a metrics line every N steps (and always after
+  /// the final step). Must be >= 1.
+  uint64_t metrics_every = 1;
+  /// Versioned machine-readable run report (obs/report.h); empty disables.
+  std::string report_path;
 
   /// Throw std::invalid_argument on out-of-range values.
   void Validate() const;

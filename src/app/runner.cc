@@ -3,11 +3,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <memory>
+
 #include "core/checkpoint.h"
 #include "core/export.h"
 #include "core/timer.h"
 #include "core/timeseries.h"
 #include "gpu/gpu_mechanical_op.h"
+#include "obs/gpu_trace.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "spatial/null_environment.h"
 
 namespace biosim::app {
@@ -17,6 +23,38 @@ namespace {
 double SpaceForDensity(size_t agents, double radius, double n) {
   double sphere = 4.0 / 3.0 * math::kPi * radius * radius * radius;
   return std::cbrt(static_cast<double>(agents) * sphere / n);
+}
+
+/// Echo the effective configuration into the run report, so a report is
+/// self-describing without the .ini file next to it.
+obs::json::Value ConfigJson(const RunConfig& cfg) {
+  obs::json::Value v = obs::json::Value::MakeObject();
+  v.Set("steps", cfg.steps);
+  v.Set("seed", cfg.seed);
+  v.Set("max_bound", cfg.max_bound);
+  v.Set("timestep", cfg.timestep);
+  v.Set("max_displacement", cfg.max_displacement);
+  v.Set("boundary", cfg.boundary);
+  v.Set("model_type", cfg.model_type);
+  if (cfg.model_type == "cell_division") {
+    v.Set("cells_per_dim", cfg.cells_per_dim);
+    v.Set("divide_threshold", cfg.divide_threshold);
+    v.Set("growth_rate", cfg.growth_rate);
+  } else {
+    v.Set("agents", cfg.agents);
+    v.Set("density", cfg.density);
+  }
+  v.Set("diameter", cfg.diameter);
+  v.Set("backend_type", cfg.backend_type);
+  if (cfg.backend_type == "gpu") {
+    v.Set("gpu_version", cfg.gpu_version);
+    v.Set("gpu_device", cfg.gpu_device);
+    v.Set("meter_stride", cfg.meter_stride);
+    v.Set("parallel_blocks", cfg.parallel_blocks);
+    v.Set("sanitize", cfg.sanitize);
+    v.Set("racy_grid_build", cfg.racy_grid_build);
+  }
+  return v;
 }
 
 }  // namespace
@@ -78,17 +116,61 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
   RunSummary summary;
   summary.initial_agents = sim->rm().size();
 
+  auto require = [](bool ok, const std::string& what) {
+    if (!ok) {
+      throw std::runtime_error("failed to write " + what);
+    }
+  };
+
+  auto* gpu_op =
+      dynamic_cast<gpu::GpuMechanicalOp*>(&sim->mechanics_backend());
+
+  // Everything observability reads comes from the subsystems' cumulative
+  // accounting, so a snapshot is just a fresh registry filled on demand.
+  auto collect = [&](obs::MetricsRegistry* reg) {
+    obs::CollectOpProfile(sim->profile(), reg);
+    if (gpu_op != nullptr) {
+      obs::CollectDevice(gpu_op->device(), reg);
+    }
+    if (DiffusionGrid* grid = sim->diffusion_grid()) {
+      obs::CollectDiffusionGrid(*grid, reg);
+    }
+    obs::CollectRuntime(reg);
+  };
+
+  std::unique_ptr<obs::MetricsJsonlWriter> metrics_out;
+  if (!cfg.metrics_path.empty()) {
+    metrics_out = std::make_unique<obs::MetricsJsonlWriter>(cfg.metrics_path);
+    require(metrics_out->ok(), cfg.metrics_path);
+  }
+
+  // Tracing covers exactly the stepped run; installed only when requested,
+  // so the default path keeps TRACE_SCOPE on its nullptr fast path.
+  std::unique_ptr<obs::TraceSession> trace;
+  if (!cfg.trace_path.empty()) {
+    trace = std::make_unique<obs::TraceSession>();
+    obs::TraceSession::SetCurrent(trace.get());
+  }
+
   Timer t;
   for (uint64_t s = 0; s < cfg.steps; ++s) {
     recorder.Record(*sim);
     sim->Simulate(1);
+    if (metrics_out != nullptr &&
+        ((s + 1) % cfg.metrics_every == 0 || s + 1 == cfg.steps)) {
+      obs::MetricsRegistry snapshot;
+      collect(&snapshot);
+      require(metrics_out->WriteSnapshot(s + 1, snapshot), cfg.metrics_path);
+    }
   }
   recorder.Record(*sim);
   summary.wall_ms = t.ElapsedMs();
+  if (trace != nullptr) {
+    obs::TraceSession::SetCurrent(nullptr);
+  }
   summary.final_agents = sim->rm().size();
   summary.profile = sim->profile().ToString();
-  if (auto* gpu_op =
-          dynamic_cast<gpu::GpuMechanicalOp*>(&sim->mechanics_backend())) {
+  if (gpu_op != nullptr) {
     summary.gpu_simulated_ms = gpu_op->SimulatedMs();
     if (const gpusim::Sanitizer* san = gpu_op->device().sanitizer()) {
       summary.sanitizer_hazards = san->report().total();
@@ -96,11 +178,48 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
     }
   }
 
-  auto require = [](bool ok, const std::string& what) {
-    if (!ok) {
-      throw std::runtime_error("failed to write " + what);
+  if (trace != nullptr) {
+    if (gpu_op != nullptr) {
+      obs::AppendDeviceTimeline(gpu_op->device(), trace.get());
     }
-  };
+    summary.trace_events = trace->event_count();
+    summary.trace_dropped = trace->dropped();
+    require(trace->WriteChromeJson(cfg.trace_path), cfg.trace_path);
+  }
+
+  // The run report is always built (biosim_run --json prints it); the file
+  // is only written when configured.
+  {
+    obs::MetricsRegistry final_metrics;
+    collect(&final_metrics);
+    obs::json::Value report = obs::MakeRunReport("biosim_run");
+    report.Set("config", ConfigJson(cfg));
+    obs::json::Value s = obs::json::Value::MakeObject();
+    s.Set("steps", cfg.steps);
+    s.Set("initial_agents", summary.initial_agents);
+    s.Set("final_agents", summary.final_agents);
+    s.Set("wall_ms", summary.wall_ms);
+    if (gpu_op != nullptr) {
+      s.Set("gpu_simulated_ms", summary.gpu_simulated_ms);
+    }
+    if (cfg.sanitize) {
+      s.Set("sanitizer_hazards", summary.sanitizer_hazards);
+    }
+    if (trace != nullptr) {
+      obs::json::Value tr = obs::json::Value::MakeObject();
+      tr.Set("path", cfg.trace_path);
+      tr.Set("events", summary.trace_events);
+      tr.Set("dropped", summary.trace_dropped);
+      s.Set("trace", std::move(tr));
+    }
+    report.Set("summary", std::move(s));
+    report.Set("metrics", final_metrics.ToJson());
+    summary.report_json = report.Dump(2);
+    if (!cfg.report_path.empty()) {
+      require(obs::WriteReportFile(report, cfg.report_path), cfg.report_path);
+    }
+  }
+
   if (!cfg.timeseries_path.empty()) {
     require(recorder.WriteCsv(cfg.timeseries_path), cfg.timeseries_path);
   }

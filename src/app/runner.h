@@ -26,6 +26,13 @@ struct RunSummary {
   /// compute-sanitizer-style text report.
   uint64_t sanitizer_hazards = 0;
   std::string sanitizer_report;
+  /// The versioned machine-readable run report (obs/report.h), serialized.
+  /// Always populated; also written to cfg.report_path when set, and printed
+  /// verbatim by `biosim_run --json`.
+  std::string report_json;
+  /// Span count / drop count of the trace session (cfg.trace_path only).
+  uint64_t trace_events = 0;
+  uint64_t trace_dropped = 0;
 };
 
 /// Build, simulate cfg.steps, write the configured outputs. Throws on

@@ -2,13 +2,19 @@
 //
 // This is what regenerates the paper's Fig. 3 (runtime profile of the cell
 // division benchmark): each scheduler operation accumulates its time here
-// and ToString() renders the percentage breakdown.
+// and ToString() renders the percentage breakdown. Every entry keeps a full
+// latency histogram (core/histogram.h), so min/max/p95 per operation come
+// for free; the observability layer (src/obs/metrics.h) absorbs these
+// entries into the unified metrics registry.
 #ifndef BIOSIM_CORE_PROFILER_H_
 #define BIOSIM_CORE_PROFILER_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
+#include <unordered_map>
+
+#include "core/histogram.h"
 
 namespace biosim {
 
@@ -16,53 +22,67 @@ class OpProfile {
  public:
   struct Entry {
     std::string name;
-    double total_ms = 0.0;
-    uint64_t calls = 0;
+    Histogram hist;
+
+    double total_ms() const { return hist.sum(); }
+    uint64_t calls() const { return hist.count(); }
   };
 
-  /// Accumulate `ms` under `name` (entries keep first-seen order).
-  void Add(const std::string& name, double ms) {
-    for (auto& e : entries_) {
-      if (e.name == name) {
-        e.total_ms += ms;
-        e.calls += 1;
-        return;
-      }
+  /// Accumulate `ms` under `name` (entries keep first-seen order). O(1)
+  /// amortized: a hash index sits alongside the first-seen-order storage.
+  void Add(const std::string& name, double ms) { Hist(name)->Add(ms); }
+
+  /// The per-sample histogram sink for `name`, created on first use. The
+  /// pointer stays valid for the profile's lifetime (entries live in a
+  /// deque), so it can be handed to a ScopedTimer.
+  Histogram* Hist(const std::string& name) {
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+      it = index_.emplace(name, entries_.size()).first;
+      entries_.push_back(Entry{name, {}});
     }
-    entries_.push_back({name, ms, 1});
+    return &entries_[it->second].hist;
   }
 
   double TotalMs(const std::string& name) const {
-    for (const auto& e : entries_) {
-      if (e.name == name) {
-        return e.total_ms;
-      }
-    }
-    return 0.0;
+    auto it = index_.find(name);
+    return it == index_.end() ? 0.0 : entries_[it->second].hist.sum();
   }
 
   double GrandTotalMs() const {
     double t = 0.0;
     for (const auto& e : entries_) {
-      t += e.total_ms;
+      t += e.total_ms();
     }
     return t;
   }
 
-  const std::vector<Entry>& entries() const { return entries_; }
+  const std::deque<Entry>& entries() const { return entries_; }
 
-  void Reset() { entries_.clear(); }
+  const Entry* Find(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+  }
 
-  /// Render a Fig. 3-style breakdown table.
+  void Reset() {
+    entries_.clear();
+    index_.clear();
+  }
+
+  /// Render a Fig. 3-style breakdown table (now with per-step percentiles).
   std::string ToString() const {
     double total = GrandTotalMs();
     std::string out;
-    out += "operation                     time_ms      share\n";
-    char line[128];
+    out +=
+        "operation                     time_ms      share     p50_ms     "
+        "p95_ms     max_ms\n";
+    char line[160];
     for (const auto& e : entries_) {
-      double pct = total > 0.0 ? 100.0 * e.total_ms / total : 0.0;
-      snprintf(line, sizeof(line), "%-28s %9.2f    %6.2f%%\n", e.name.c_str(),
-               e.total_ms, pct);
+      double pct = total > 0.0 ? 100.0 * e.total_ms() / total : 0.0;
+      snprintf(line, sizeof(line),
+               "%-28s %9.2f    %6.2f%% %10.3f %10.3f %10.3f\n",
+               e.name.c_str(), e.total_ms(), pct, e.hist.Percentile(0.5),
+               e.hist.Percentile(0.95), e.hist.max());
       out += line;
     }
     snprintf(line, sizeof(line), "%-28s %9.2f    100.00%%\n", "TOTAL", total);
@@ -71,7 +91,8 @@ class OpProfile {
   }
 
  private:
-  std::vector<Entry> entries_;
+  std::deque<Entry> entries_;  // deque: stable Entry/Histogram addresses
+  std::unordered_map<std::string, size_t> index_;
 };
 
 }  // namespace biosim

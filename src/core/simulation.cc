@@ -4,6 +4,7 @@
 #include "core/cell.h"
 #include "core/sim_context.h"
 #include "core/timer.h"
+#include "obs/trace.h"
 #include "spatial/uniform_grid.h"
 
 namespace biosim {
@@ -85,46 +86,52 @@ void Simulation::RunBehaviors() {
 
   // Deferred structural changes make parallel execution safe; the commit
   // phase re-sorts them by mother row, so the outcome is thread-count
-  // independent (each agent's RNG stream is keyed by uid and step).
-  ParallelFor(mode_, n, [&](size_t i) {
-    if (rm_.behaviors_of(i).empty()) {
-      return;
-    }
-    Cell cell(rm_, i);
-    for (const auto& b : rm_.behaviors_of(i)) {
-      b->Run(cell, ctx);
+  // independent (each agent's RNG stream is keyed by uid and step). Chunked
+  // so each worker emits one trace span covering its contiguous range —
+  // the per-worker tracks in the timeline come from here.
+  ParallelForChunks(mode_, n, [&](size_t begin, size_t end) {
+    TRACE_SCOPE("behaviors chunk");
+    for (size_t i = begin; i < end; ++i) {
+      if (rm_.behaviors_of(i).empty()) {
+        continue;
+      }
+      Cell cell(rm_, i);
+      for (const auto& b : rm_.behaviors_of(i)) {
+        b->Run(cell, ctx);
+      }
     }
   });
 }
 
 void Simulation::Simulate(uint64_t steps) {
   for (uint64_t s = 0; s < steps; ++s) {
+    TRACE_SCOPE("step");
     {
-      Timer t;
+      TRACE_SCOPE("cell behaviors");
+      ScopedTimer t(profile_.Hist("cell behaviors"));
       RunBehaviors();
-      profile_.Add("cell behaviors", t.ElapsedMs());
     }
     {
-      Timer t;
+      TRACE_SCOPE("commit");
+      ScopedTimer t(profile_.Hist("commit"));
       rm_.CommitStructuralChanges();
-      profile_.Add("commit", t.ElapsedMs());
     }
     {
-      Timer t;
+      TRACE_SCOPE("neighborhood update");
+      ScopedTimer t(profile_.Hist("neighborhood update"));
       env_->Update(rm_, param_, mode_);
-      profile_.Add("neighborhood update", t.ElapsedMs());
     }
     {
-      Timer t;
+      TRACE_SCOPE("mechanical forces");
+      ScopedTimer t(profile_.Hist("mechanical forces"));
       backend_->Step(rm_, *env_, param_, mode_, &profile_);
-      profile_.Add("mechanical forces", t.ElapsedMs());
     }
     if (!diffusion_grids_.empty()) {
-      Timer t;
+      TRACE_SCOPE("diffusion");
+      ScopedTimer t(profile_.Hist("diffusion"));
       for (auto& g : diffusion_grids_) {
         g->Step(param_.simulation_time_step, mode_);
       }
-      profile_.Add("diffusion", t.ElapsedMs());
     }
     ++step_;
   }

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "core/histogram.h"
+
 namespace biosim {
 
 /// Monotonic wall-clock stopwatch with millisecond/microsecond readouts.
@@ -25,17 +27,31 @@ class Timer {
   Clock::time_point start_;
 };
 
-/// Adds the scope's elapsed milliseconds to `*sink` on destruction.
+/// Adds the scope's elapsed milliseconds to a sink on destruction. Two sink
+/// flavors: a bare accumulator (`double*`) for one-off measurements, or a
+/// Histogram — the scheduler's form, which keeps the full per-sample
+/// distribution so min/max/p95 per operation come for free
+/// (OpProfile::Hist hands out the histogram of a named operation).
 class ScopedTimer {
  public:
   explicit ScopedTimer(double* sink_ms) : sink_(sink_ms) {}
-  ~ScopedTimer() { *sink_ += timer_.ElapsedMs(); }
+  explicit ScopedTimer(Histogram* hist) : hist_(hist) {}
+  ~ScopedTimer() {
+    double ms = timer_.ElapsedMs();
+    if (sink_ != nullptr) {
+      *sink_ += ms;
+    }
+    if (hist_ != nullptr) {
+      hist_->Add(ms);
+    }
+  }
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
-  double* sink_;
+  double* sink_ = nullptr;
+  Histogram* hist_ = nullptr;
   Timer timer_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "core/timer.h"
 #include "gpu/diagnostic_kernels.h"
+#include "obs/trace.h"
 #include "gpu/grid_build_kernels.h"
 #include "gpu/mech_kernel.h"
 #include "gpu/device_sort.h"
@@ -203,6 +204,7 @@ void GpuMechanicalOp::StepImpl(ResourceManager& rm, const Param& param,
   // arrays — the state is already resident there and a device sort is how a
   // production implementation (thrust/CUB) does it.
   if (options_.zorder_sort) {
+    TRACE_SCOPE("gpu z-order sort");
     double before = device().ElapsedMs();
     if (options_.device_radix_sort) {
       SortOnDevice(rm, param, mode);
@@ -282,6 +284,7 @@ void GpuMechanicalOp::StepImpl(ResourceManager& rm, const Param& param,
   // (skipped in persistent mode while the resident copy is current)
   double sim_before_h2d = device().ElapsedMs();
   if (need_upload) {
+    TRACE_SCOPE("gpu h2d");
     std::vector<T> staging(n);
     auto upload_axis = [&](gpusim::DeviceBuffer<T>& dst, auto getter) {
       const auto& positions = rm.positions();
@@ -319,6 +322,8 @@ void GpuMechanicalOp::StepImpl(ResourceManager& rm, const Param& param,
   // --- device: grid build + mechanics ------------------------------------
   device().ResetCache();  // conservatively cold per step
   double sim_before_kernels = device().ElapsedMs();
+  {
+  TRACE_SCOPE("gpu kernels");
 
   MechKernelParams<T> p;
   p.interaction_radius =
@@ -408,6 +413,7 @@ void GpuMechanicalOp::StepImpl(ResourceManager& rm, const Param& param,
         [&](gpusim::BlockCtx& blk) { MechKernelBody(blk, s, g, n, p); },
         /*block_parallel_safe=*/true);
   }
+  }
   if (profile != nullptr) {
     profile->Add("gpu kernels (sim)",
                  device().ElapsedMs() - sim_before_kernels);
@@ -443,6 +449,7 @@ void GpuMechanicalOp::StepImpl(ResourceManager& rm, const Param& param,
   }
 
   // --- D2H + host apply --------------------------------------------------
+  TRACE_SCOPE("gpu d2h");
   double sim_before_d2h = device().ElapsedMs();
   std::vector<T> ox(n), oy(n), oz(n);
   D2H(ox, s.out_x);

@@ -156,6 +156,7 @@ KernelStats Device::Launch(const LaunchConfig& cfg,
   }
 
   ApplyTimingModel(spec_, &raw);
+  raw.sim_start_ms = kernel_ms_;
   kernel_ms_ += raw.total_ms;
   history_.push_back(raw);
   return raw;
@@ -217,6 +218,7 @@ KernelStats Device::AddModeledKernel(const std::string& name,
   st.lane_ops_sum = 1;
   st.warp_ops_slots = 1;  // coalesced: no divergence
   ApplyTimingModel(spec_, &st);
+  st.sim_start_ms = kernel_ms_;
   kernel_ms_ += st.total_ms;
   history_.push_back(st);
   return st;

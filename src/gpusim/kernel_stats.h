@@ -66,6 +66,13 @@ struct KernelStats {
   /// regardless of the metering stride.
   uint64_t sanitizer_hazards = 0;
 
+  /// Offset of this launch on the device's kernel clock (ms; the cumulative
+  /// total_ms of all prior launches). Set by Device::Launch so the
+  /// observability layer can reconstruct a virtual GPU timeline from the
+  /// launch history (obs/gpu_trace.h). Not a hardware counter: excluded
+  /// from Accumulate.
+  double sim_start_ms = 0.0;
+
   // --- derived timing (filled by the timing model) ----------------------
   double compute_ms = 0.0;
   double memory_ms = 0.0;

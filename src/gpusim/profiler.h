@@ -23,19 +23,19 @@ struct AggregatedKernel : KernelStats {
 class ProfileReport {
  public:
   /// Aggregate the device's launch history by kernel name (first-launch
-  /// order preserved).
+  /// order preserved). One map lookup per launch: try_emplace either finds
+  /// the existing slot or claims the next index in the same probe.
   explicit ProfileReport(const Device& dev) {
     for (const KernelStats& k : dev.history()) {
-      auto it = index_.find(k.name);
-      if (it == index_.end()) {
-        index_[k.name] = kernels_.size();
+      auto [it, inserted] = index_.try_emplace(k.name, kernels_.size());
+      if (inserted) {
         AggregatedKernel agg;
         agg.name = k.name;
         agg.grid_dim = k.grid_dim;
         agg.block_dim = k.block_dim;
         agg.meter_stride = k.meter_stride;
+        agg.sim_start_ms = k.sim_start_ms;  // first launch's offset
         kernels_.push_back(agg);
-        it = index_.find(k.name);
       }
       AggregatedKernel& agg = kernels_[it->second];
       agg.Accumulate(k);

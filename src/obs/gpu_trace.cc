@@ -1,0 +1,47 @@
+#include "obs/gpu_trace.h"
+
+#include <cstdio>
+
+#include "gpusim/device.h"
+
+namespace biosim::obs {
+
+namespace {
+
+std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace
+
+size_t AppendDeviceTimeline(const gpusim::Device& dev, TraceSession* session,
+                            const std::string& track) {
+  size_t n = 0;
+  for (const gpusim::KernelStats& k : dev.history()) {
+    std::vector<std::pair<std::string, std::string>> args;
+    args.emplace_back("grid_dim", std::to_string(k.grid_dim));
+    args.emplace_back("block_dim", std::to_string(k.block_dim));
+    args.emplace_back("simd_efficiency", Fmt("%.3f", k.SimdEfficiency()));
+    args.emplace_back("dram_bytes",
+                      std::to_string(k.DramBytes()));
+    args.emplace_back("l2_read_hit_pct",
+                      Fmt("%.1f", 100.0 * k.L2ReadHitFraction()));
+    args.emplace_back("flops", std::to_string(k.TotalFlops()));
+    args.emplace_back(
+        "transactions",
+        std::to_string(k.read_transactions + k.write_transactions));
+    args.emplace_back("atomic_serialized",
+                      std::to_string(k.atomic_serialized));
+    args.emplace_back("compute_ms", Fmt("%.4f", k.compute_ms));
+    args.emplace_back("memory_ms", Fmt("%.4f", k.memory_ms));
+    args.emplace_back("meter_stride", std::to_string(k.meter_stride));
+    session->AddVirtualSpan(track, k.name, k.sim_start_ms * 1e3,
+                            k.total_ms * 1e3, std::move(args));
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace biosim::obs

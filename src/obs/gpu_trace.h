@@ -1,0 +1,33 @@
+// Virtual GPU timeline: reconstruct per-kernel trace spans from a
+// gpusim::Device's launch history.
+//
+// The simulated device has no host threads — its "time" is the analytic
+// model's kernel clock. Each launch in Device::history() becomes one span
+// on a virtual track (its own process in the trace viewer), positioned at
+// the launch's simulated-clock offset and carrying the nvprof-style
+// counters as span args: grid/block dims, SIMD efficiency, DRAM bytes, L2
+// read hit %, divergence, atomic serialization. Loading the exported file
+// in Perfetto therefore shows the CPU scheduler and the simulated GPU
+// timeline side by side.
+#ifndef BIOSIM_OBS_GPU_TRACE_H_
+#define BIOSIM_OBS_GPU_TRACE_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace biosim::gpusim {
+class Device;
+}  // namespace biosim::gpusim
+
+namespace biosim::obs {
+
+/// Append one span per launch of `dev` to `session` on the virtual track
+/// `track` (simulated kernel clock, microseconds). Returns the number of
+/// spans added.
+size_t AppendDeviceTimeline(const gpusim::Device& dev, TraceSession* session,
+                            const std::string& track = "gpu kernels");
+
+}  // namespace biosim::obs
+
+#endif  // BIOSIM_OBS_GPU_TRACE_H_

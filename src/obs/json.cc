@@ -1,0 +1,393 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace biosim::obs::json {
+
+Value& Value::Set(const std::string& key, Value v) {
+  for (auto& m : obj_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return m.second;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+  return obj_.back().second;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  for (const auto& m : obj_) {
+    if (m.first == key) {
+      return &m.second;
+    }
+  }
+  return nullptr;
+}
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; null is the least-bad echo
+    *out += "null";
+    return;
+  }
+  // Integers (the common case for counters) print without an exponent or
+  // trailing zeros; everything else gets round-trippable precision.
+  if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.0f", d);
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent > 0) {
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * depth, ' ');
+  }
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      AppendNumber(out, num_);
+      return;
+    case Kind::kString:
+      out->push_back('"');
+      *out += Escape(str_);
+      out->push_back('"');
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+          if (indent == 0) {
+            out->push_back(' ');
+          }
+        }
+        Indent(out, indent, depth + 1);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) {
+        Indent(out, indent, depth);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) {
+          out->push_back(',');
+          if (indent == 0) {
+            out->push_back(' ');
+          }
+        }
+        Indent(out, indent, depth + 1);
+        out->push_back('"');
+        *out += Escape(obj_[i].first);
+        *out += "\": ";
+        obj_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) {
+        Indent(out, indent, depth);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::unique_ptr<Value> Run(std::string* error) {
+    Value v;
+    if (!ParseValue(&v)) {
+      Report(error);
+      return nullptr;
+    }
+    SkipSpace();
+    if (pos_ != s_.size()) {
+      err_ = "trailing characters after document";
+      Report(error);
+      return nullptr;
+    }
+    return std::make_unique<Value>(std::move(v));
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) {
+      err_ = std::string("expected '") + lit + "'";
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      err_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= s_.size()) {
+          break;
+        }
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              err_ = "truncated \\u escape";
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                err_ = "bad \\u escape";
+                return false;
+              }
+            }
+            // Encode the BMP code point as UTF-8 (surrogate pairs outside
+            // our own output; treat them as two 3-byte sequences).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            err_ = "bad escape character";
+            return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    err_ = "unterminated string";
+    return false;
+  }
+
+  bool ParseValue(Value* out) {
+    SkipSpace();
+    if (pos_ >= s_.size()) {
+      err_ = "unexpected end of input";
+      return false;
+    }
+    char c = s_[pos_];
+    if (c == 'n') {
+      if (!Literal("null")) return false;
+      *out = Value();
+      return true;
+    }
+    if (c == 't') {
+      if (!Literal("true")) return false;
+      *out = Value(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!Literal("false")) return false;
+      *out = Value(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      *out = Value::MakeArray();
+      SkipSpace();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        Value item;
+        if (!ParseValue(&item)) return false;
+        out->Append(std::move(item));
+        SkipSpace();
+        if (pos_ >= s_.size()) {
+          err_ = "unterminated array";
+          return false;
+        }
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        err_ = "expected ',' or ']'";
+        return false;
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      *out = Value::MakeObject();
+      SkipSpace();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipSpace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipSpace();
+        if (pos_ >= s_.size() || s_[pos_] != ':') {
+          err_ = "expected ':'";
+          return false;
+        }
+        ++pos_;
+        Value item;
+        if (!ParseValue(&item)) return false;
+        out->Set(key, std::move(item));
+        SkipSpace();
+        if (pos_ >= s_.size()) {
+          err_ = "unterminated object";
+          return false;
+        }
+        if (s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        err_ = "expected ',' or '}'";
+        return false;
+      }
+    }
+    // Number.
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    double d = std::strtod(start, &end);
+    if (end == start) {
+      err_ = "expected value";
+      return false;
+    }
+    pos_ += static_cast<size_t>(end - start);
+    *out = Value(d);
+    return true;
+  }
+
+  void Report(std::string* error) const {
+    if (error != nullptr) {
+      *error = err_ + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+std::unique_ptr<Value> Parse(const std::string& text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+}  // namespace biosim::obs::json

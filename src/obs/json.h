@@ -1,0 +1,107 @@
+// Minimal JSON document model: build, serialize, parse.
+//
+// The observability layer's single JSON implementation — the trace
+// exporter, the metrics registry, the run reports, and the benches all
+// serialize through this instead of hand-rolled fprintf, and the tests
+// parse their own output back to validate it. Objects preserve insertion
+// order so reports diff cleanly across runs.
+//
+// Deliberately small: UTF-8 passthrough, no comments, doubles for all
+// numbers (integers round-trip exactly up to 2^53, far beyond any counter
+// we report per run).
+#ifndef BIOSIM_OBS_JSON_H_
+#define BIOSIM_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace biosim::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : kind_(Kind::kNull) {}
+  Value(std::nullptr_t) : kind_(Kind::kNull) {}  // NOLINT(runtime/explicit)
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  Value(double d) : kind_(Kind::kNumber), num_(d) {}  // NOLINT
+  Value(int i) : kind_(Kind::kNumber), num_(i) {}  // NOLINT
+  Value(int64_t i)  // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(i)) {}
+  Value(uint64_t u)  // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(u)) {}
+  Value(unsigned int u)  // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(u)) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}  // NOLINT
+  Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+
+  static Value MakeArray() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static Value MakeObject() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return num_; }
+  const std::string& AsString() const { return str_; }
+  const Array& items() const { return arr_; }
+  const std::vector<Member>& members() const { return obj_; }
+
+  /// Array append (the value must be an array).
+  void Append(Value v) { arr_.push_back(std::move(v)); }
+  size_t size() const { return is_array() ? arr_.size() : obj_.size(); }
+  const Value& operator[](size_t i) const { return arr_[i]; }
+
+  /// Object set: appends or overwrites in place (the value must be an
+  /// object). Returns a reference to the stored value for chaining.
+  Value& Set(const std::string& key, Value v);
+  /// Object lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  /// Serialize. indent = 0 emits one line; otherwise pretty-prints with the
+  /// given indent width.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  std::vector<Member> obj_;
+};
+
+/// Parse a JSON document. Returns nullptr and fills `error` (if non-null)
+/// with an offset-tagged message on malformed input; trailing non-space
+/// characters are an error.
+std::unique_ptr<Value> Parse(const std::string& text,
+                             std::string* error = nullptr);
+
+/// Escape a string the way Dump does (exported for streaming writers).
+std::string Escape(const std::string& s);
+
+}  // namespace biosim::obs::json
+
+#endif  // BIOSIM_OBS_JSON_H_

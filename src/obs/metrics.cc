@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+
+#include "core/profiler.h"
+#include "core/thread_pool.h"
+#include "diffusion/diffusion_grid.h"
+#include "gpusim/device.h"
+#include "gpusim/profiler.h"
+
+namespace biosim::obs {
+
+MetricsRegistry::Metric* MetricsRegistry::GetOrCreate(const std::string& name,
+                                                      Kind kind) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    it = index_.emplace(name, metrics_.size()).first;
+    metrics_.push_back(Metric{name, kind, {}, {}, {}});
+  }
+  Metric* m = &metrics_[it->second];
+  assert(m->kind == kind && "metric re-registered with a different kind");
+  return m;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &GetOrCreate(name, Kind::kCounter)->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return &GetOrCreate(name, Kind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return &GetOrCreate(name, Kind::kHistogram)->hist;
+}
+
+void MetricsRegistry::Merge(const MetricsRegistry& o) {
+  for (const Metric& m : o.metrics_) {
+    Metric* mine = GetOrCreate(m.name, m.kind);
+    switch (m.kind) {
+      case Kind::kCounter:
+        mine->counter.Add(m.counter.value());
+        break;
+      case Kind::kGauge:
+        if (m.gauge.ever_set()) {
+          mine->gauge.Set(m.gauge.value());
+        }
+        break;
+      case Kind::kHistogram:
+        mine->hist.Merge(m.hist);
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::Reset() {
+  metrics_.clear();
+  index_.clear();
+}
+
+json::Value MetricsRegistry::ToJson() const {
+  json::Value counters = json::Value::MakeObject();
+  json::Value gauges = json::Value::MakeObject();
+  json::Value hists = json::Value::MakeObject();
+  for (const Metric& m : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        counters.Set(m.name, m.counter.value());
+        break;
+      case Kind::kGauge:
+        gauges.Set(m.name, m.gauge.value());
+        break;
+      case Kind::kHistogram: {
+        json::Value h = json::Value::MakeObject();
+        h.Set("count", m.hist.count());
+        h.Set("sum", m.hist.sum());
+        h.Set("min", m.hist.min());
+        h.Set("max", m.hist.max());
+        h.Set("mean", m.hist.mean());
+        h.Set("p50", m.hist.Percentile(0.5));
+        h.Set("p95", m.hist.Percentile(0.95));
+        hists.Set(m.name, std::move(h));
+        break;
+      }
+    }
+  }
+  json::Value out = json::Value::MakeObject();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(hists));
+  return out;
+}
+
+MetricsJsonlWriter::MetricsJsonlWriter(const std::string& path)
+    : out_(path) {}
+
+bool MetricsJsonlWriter::WriteSnapshot(uint64_t step,
+                                       const MetricsRegistry& registry) {
+  if (!out_.good()) {
+    return false;
+  }
+  json::Value line = json::Value::MakeObject();
+  line.Set("step", step);
+  json::Value dump = registry.ToJson();
+  for (auto& m : dump.members()) {
+    line.Set(m.first, m.second);
+  }
+  out_ << line.Dump(0) << "\n";
+  out_.flush();
+  return out_.good();
+}
+
+// --- collectors -------------------------------------------------------------
+
+void CollectOpProfile(const OpProfile& profile, MetricsRegistry* reg) {
+  for (const OpProfile::Entry& e : profile.entries()) {
+    reg->GetHistogram("op/" + e.name + "/ms")->Merge(e.hist);
+    reg->GetCounter("op/" + e.name + "/calls")->Set(e.calls());
+  }
+}
+
+void CollectDevice(const gpusim::Device& dev, MetricsRegistry* reg) {
+  gpusim::ProfileReport report(dev);
+  for (const gpusim::AggregatedKernel& k : report.kernels()) {
+    const std::string p = "gpusim/kernel/" + k.name + "/";
+    reg->GetCounter(p + "launches")->Set(k.launches);
+    reg->GetGauge(p + "time_ms")->Set(k.total_ms);
+    reg->GetCounter(p + "flops")->Set(k.TotalFlops());
+    reg->GetCounter(p + "dram_bytes")->Set(k.DramBytes());
+    reg->GetCounter(p + "l2_hit_bytes")->Set(k.L2HitBytes());
+    reg->GetCounter(p + "l1_hit_bytes")->Set(k.L1HitBytes());
+    reg->GetCounter(p + "read_transactions")->Set(k.read_transactions);
+    reg->GetCounter(p + "write_transactions")->Set(k.write_transactions);
+    reg->GetCounter(p + "atomic_ops")->Set(k.atomic_ops);
+    reg->GetCounter(p + "atomic_serialized")->Set(k.atomic_serialized);
+    reg->GetCounter(p + "shared_bytes")->Set(k.shared_bytes);
+    reg->GetGauge(p + "simd_efficiency")->Set(k.SimdEfficiency());
+    reg->GetGauge(p + "l2_read_hit_fraction")->Set(k.L2ReadHitFraction());
+    reg->GetGauge(p + "arithmetic_intensity")->Set(k.ArithmeticIntensity());
+    reg->GetGauge(p + "achieved_gflops")->Set(k.AchievedGflops());
+  }
+  const gpusim::TransferStats& t = dev.transfers();
+  reg->GetCounter("gpusim/transfers/h2d_bytes")->Set(t.h2d_bytes);
+  reg->GetCounter("gpusim/transfers/d2h_bytes")->Set(t.d2h_bytes);
+  reg->GetCounter("gpusim/transfers/h2d_count")->Set(t.h2d_count);
+  reg->GetCounter("gpusim/transfers/d2h_count")->Set(t.d2h_count);
+  reg->GetGauge("gpusim/transfers/h2d_ms")->Set(t.h2d_ms);
+  reg->GetGauge("gpusim/transfers/d2h_ms")->Set(t.d2h_ms);
+  reg->GetGauge("gpusim/device/kernel_ms")->Set(dev.KernelMs());
+  reg->GetGauge("gpusim/device/elapsed_ms")->Set(dev.ElapsedMs());
+  reg->GetCounter("gpusim/device/launches")->Set(dev.history().size());
+  reg->GetGauge("gpusim/device/meter_stride")
+      ->Set(static_cast<double>(dev.meter_stride()));
+}
+
+void CollectDiffusionGrid(const DiffusionGrid& grid, MetricsRegistry* reg) {
+  const std::string p = "diffusion/" + grid.substance_name() + "/";
+  reg->GetCounter(p + "voxels")->Set(grid.num_voxels());
+  reg->GetGauge(p + "total_amount")->Set(grid.TotalAmount());
+  reg->GetGauge(p + "max_concentration")->Set(grid.MaxConcentration());
+}
+
+void CollectRuntime(MetricsRegistry* reg) {
+  reg->GetGauge("runtime/hardware_threads")
+      ->Set(static_cast<double>(HardwareThreads()));
+#ifdef _OPENMP
+  reg->GetGauge("runtime/openmp")->Set(1.0);
+#else
+  reg->GetGauge("runtime/openmp")->Set(0.0);
+#endif
+}
+
+}  // namespace biosim::obs

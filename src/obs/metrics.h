@@ -1,0 +1,142 @@
+// Unified metrics registry: named counters, gauges and histograms behind
+// one interface, with JSON dumps and per-step JSON-lines snapshots.
+//
+// This absorbs the quantities that used to live in disconnected ad-hoc
+// structs — OpProfile operation times, gpusim KernelStats aggregates and
+// memory-model transaction counters, transfer accounting, diffusion-grid
+// state, thread-pool configuration — so every consumer (biosim_run --json,
+// the figure benches, tests) reads the same names from the same place.
+//
+// Kinds and merge semantics (exercised by tests/obs/metrics_test.cc):
+//   counter    monotonic uint64; Merge adds.
+//   gauge      last-written double; Merge overwrites with the source's
+//              value iff the source ever set it.
+//   histogram  full distribution (core/histogram.h: count/sum/min/max,
+//              p50/p95); Merge combines distributions.
+//
+// Metric names are slash-scoped by convention: "op/mechanical forces/ms",
+// "gpusim/kernel/mech_v2/dram_bytes", "diffusion/substance/total_amount".
+#ifndef BIOSIM_OBS_METRICS_H_
+#define BIOSIM_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+
+#include "core/histogram.h"
+#include "obs/json.h"
+
+namespace biosim {
+class OpProfile;
+class DiffusionGrid;
+}  // namespace biosim
+
+namespace biosim::gpusim {
+class Device;
+}  // namespace biosim::gpusim
+
+namespace biosim::obs {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_ += n; }
+  /// Overwrite with an externally maintained cumulative value (how the
+  /// collectors absorb counters that live elsewhere).
+  void Set(uint64_t v) { v_ = v; }
+  uint64_t value() const { return v_; }
+
+ private:
+  uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) {
+    v_ = v;
+    set_ = true;
+  }
+  double value() const { return v_; }
+  bool ever_set() const { return set_; }
+
+ private:
+  double v_ = 0.0;
+  bool set_ = false;
+};
+
+class MetricsRegistry {
+ public:
+  /// Named instrument access, created on first use. Pointers stay valid for
+  /// the registry's lifetime. Re-requesting a name with a different kind is
+  /// a programming error (asserted).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Combine `o` into this registry (see the kind table above). Metrics
+  /// absent here are created.
+  void Merge(const MetricsRegistry& o);
+
+  size_t size() const { return metrics_.size(); }
+  void Reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, min, max, mean, p50, p95}}} — insertion order preserved.
+  json::Value ToJson() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  struct Metric {
+    std::string name;
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    Histogram hist;
+  };
+
+  Metric* GetOrCreate(const std::string& name, Kind kind);
+
+  std::deque<Metric> metrics_;  // first-seen order; stable addresses
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Append one JSON object per snapshot to a file — the per-step time-series
+/// emission mode (biosim_run --metrics=FILE --metrics-every=N).
+class MetricsJsonlWriter {
+ public:
+  explicit MetricsJsonlWriter(const std::string& path);
+  bool ok() const { return out_.good(); }
+  /// One line: {"step": N, ...registry dump}.
+  bool WriteSnapshot(uint64_t step, const MetricsRegistry& registry);
+
+ private:
+  std::ofstream out_;
+};
+
+// --- collectors -------------------------------------------------------------
+// Each collector reads one subsystem's native accounting into the registry
+// under a stable name prefix. They Set cumulative values, so re-collecting
+// into a fresh registry per snapshot is idempotent.
+
+/// Scheduler operation times: "op/<name>/ms" histograms (per-step samples)
+/// plus "op/<name>/calls" counters.
+void CollectOpProfile(const OpProfile& profile, MetricsRegistry* reg);
+
+/// Simulated-GPU accounting, aggregated per kernel name:
+/// "gpusim/kernel/<name>/{launches,time_ms,flops,dram_bytes,l2_hit_bytes,
+/// read_transactions,write_transactions,atomic_ops,simd_efficiency,...}"
+/// plus device-wide transfer counters and the simulated clock.
+void CollectDevice(const gpusim::Device& dev, MetricsRegistry* reg);
+
+/// Diffusion grid state: "diffusion/<substance>/{voxels,total_amount,
+/// max_concentration}".
+void CollectDiffusionGrid(const DiffusionGrid& grid, MetricsRegistry* reg);
+
+/// Host execution environment: "runtime/hardware_threads",
+/// "runtime/openmp" (0/1).
+void CollectRuntime(MetricsRegistry* reg);
+
+}  // namespace biosim::obs
+
+#endif  // BIOSIM_OBS_METRICS_H_

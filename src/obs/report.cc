@@ -1,0 +1,54 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#include "core/thread_pool.h"
+
+namespace biosim::obs {
+
+json::Value EnvironmentJson() {
+  json::Value env = json::Value::MakeObject();
+#if defined(__clang__)
+  env.Set("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  env.Set("compiler", "gcc " + std::to_string(__GNUC__) + "." +
+                          std::to_string(__GNUC_MINOR__) + "." +
+                          std::to_string(__GNUC_PATCHLEVEL__));
+#else
+  env.Set("compiler", "unknown");
+#endif
+#ifdef NDEBUG
+  env.Set("assertions", false);
+#else
+  env.Set("assertions", true);
+#endif
+#ifdef _OPENMP
+  env.Set("openmp", true);
+#else
+  env.Set("openmp", false);
+#endif
+  env.Set("hardware_threads", static_cast<uint64_t>(HardwareThreads()));
+  env.Set("cxx_standard", static_cast<int64_t>(__cplusplus));
+  return env;
+}
+
+json::Value MakeRunReport(const std::string& tool) {
+  json::Value report = json::Value::MakeObject();
+  report.Set("report_version", kReportVersion);
+  report.Set("tool", tool);
+  report.Set("environment", EnvironmentJson());
+  return report;
+}
+
+bool WriteReportFile(const json::Value& report, const std::string& path) {
+  std::string body = report.Dump(2);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  bool ok = written == body.size() && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace biosim::obs

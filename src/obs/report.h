@@ -1,0 +1,40 @@
+// Machine-readable run reports: one versioned JSON document per run.
+//
+// Every tool that used to hand-roll its own serializer — biosim_run, the
+// figure benches, BENCH_gpusim.json — now emits this shape:
+//
+//   {
+//     "report_version": 1,           // bumped on breaking schema changes
+//     "tool": "<producer>",          // e.g. "biosim_run", "bench_fig8"
+//     "environment": { compiler, build flags, openmp, threads },
+//     ... producer sections: "config", "summary", "metrics", "results" ...
+//   }
+//
+// Version policy (docs/observability.md): additive fields are allowed
+// within a version; removing or re-typing a field bumps report_version.
+#ifndef BIOSIM_OBS_REPORT_H_
+#define BIOSIM_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace biosim::obs {
+
+/// Current report schema version.
+inline constexpr int kReportVersion = 1;
+
+/// Compiler / build / runtime facts, for reproducing a measurement.
+json::Value EnvironmentJson();
+
+/// A report skeleton: report_version + tool + environment. Producers add
+/// their own sections and Dump it.
+json::Value MakeRunReport(const std::string& tool);
+
+/// Write `report` to `path` (pretty-printed, trailing newline). Returns
+/// false on I/O failure.
+bool WriteReportFile(const json::Value& report, const std::string& path);
+
+}  // namespace biosim::obs
+
+#endif  // BIOSIM_OBS_REPORT_H_

@@ -1,0 +1,213 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace biosim::obs {
+
+std::atomic<TraceSession*> TraceSession::current_{nullptr};
+
+namespace {
+
+// Thread-local cache of (session id, buffer): re-registration only happens
+// when a new session is installed, so steady-state Record is lock-free.
+// Keyed by a unique id, not the session address — a new session allocated
+// where a destroyed one lived must not inherit its stale buffer pointer.
+struct TlsSlot {
+  uint64_t session_id = 0;
+  void* buf = nullptr;
+};
+thread_local TlsSlot tls_slot;
+
+std::atomic<uint64_t> next_session_id{1};
+
+}  // namespace
+
+TraceSession::TraceSession(size_t events_per_thread)
+    : id_(next_session_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()),
+      capacity_(std::max<size_t>(events_per_thread, 16)) {}
+
+TraceSession::~TraceSession() {
+  // Never leave a dangling current session behind.
+  TraceSession* self = this;
+  current_.compare_exchange_strong(self, nullptr);
+}
+
+TraceSession::ThreadBuf* TraceSession::BufForThisThread() {
+  if (tls_slot.session_id == id_) {
+    return static_cast<ThreadBuf*>(tls_slot.buf);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<ThreadBuf>();
+  buf->ring.reserve(capacity_);
+  buf->label = threads_.empty()
+                   ? "main"
+                   : "worker " + std::to_string(threads_.size());
+  threads_.push_back(std::move(buf));
+  tls_slot.session_id = id_;
+  tls_slot.buf = threads_.back().get();
+  return threads_.back().get();
+}
+
+void TraceSession::Record(const char* name, uint64_t start_ns,
+                          uint64_t dur_ns) {
+  ThreadBuf* buf = BufForThisThread();
+  TraceEvent ev{name, start_ns, dur_ns};
+  if (buf->ring.size() < capacity_) {
+    buf->ring.push_back(ev);
+  } else {
+    buf->ring[buf->head] = ev;  // wrap: overwrite the oldest
+  }
+  buf->head = (buf->head + 1) % capacity_;
+  buf->recorded += 1;
+}
+
+const char* TraceSession::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  interned_.push_back(std::make_unique<std::string>(name));
+  return interned_.back()->c_str();
+}
+
+void TraceSession::AddVirtualSpan(
+    const std::string& track, const std::string& name, double start_us,
+    double dur_us, std::vector<std::pair<std::string, std::string>> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t idx = 0;
+  for (; idx < virtual_tracks_.size(); ++idx) {
+    if (virtual_tracks_[idx] == track) {
+      break;
+    }
+  }
+  if (idx == virtual_tracks_.size()) {
+    virtual_tracks_.push_back(track);
+  }
+  virtual_events_.push_back({idx, name, start_us, dur_us, std::move(args)});
+}
+
+uint64_t TraceSession::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& t : threads_) {
+    n += t->recorded - t->ring.size();
+  }
+  return n;
+}
+
+size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = virtual_events_.size();
+  for (const auto& t : threads_) {
+    n += t->ring.size();
+  }
+  return n;
+}
+
+std::string TraceSession::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  constexpr int kHostPid = 1;
+  constexpr int kVirtualPid = 2;
+
+  json::Value events = json::Value::MakeArray();
+  auto meta = [&events](const char* what, int pid, int tid,
+                        const std::string& name) {
+    json::Value m = json::Value::MakeObject();
+    m.Set("name", what);
+    m.Set("ph", "M");
+    m.Set("pid", pid);
+    if (tid >= 0) {
+      m.Set("tid", tid);
+    }
+    json::Value args = json::Value::MakeObject();
+    args.Set("name", name);
+    m.Set("args", std::move(args));
+    events.Append(std::move(m));
+  };
+
+  meta("process_name", kHostPid, -1, "host");
+  if (!virtual_events_.empty()) {
+    meta("process_name", kVirtualPid, -1, "gpusim (virtual time)");
+  }
+
+  // Host tracks: tid = registration order; events sorted by start so the
+  // document is deterministic (the ring may have wrapped).
+  for (size_t tid = 0; tid < threads_.size(); ++tid) {
+    const ThreadBuf& buf = *threads_[tid];
+    meta("thread_name", kHostPid, static_cast<int>(tid), buf.label);
+    std::vector<TraceEvent> sorted(buf.ring.begin(), buf.ring.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.start_ns < b.start_ns;
+              });
+    for (const TraceEvent& ev : sorted) {
+      json::Value e = json::Value::MakeObject();
+      e.Set("name", ev.name);
+      e.Set("ph", "X");
+      e.Set("pid", kHostPid);
+      e.Set("tid", static_cast<int>(tid));
+      e.Set("ts", static_cast<double>(ev.start_ns) / 1e3);  // µs
+      e.Set("dur", static_cast<double>(ev.dur_ns) / 1e3);
+      events.Append(std::move(e));
+    }
+  }
+
+  // Virtual tracks, after the host tids.
+  const int vbase = static_cast<int>(threads_.size());
+  for (size_t i = 0; i < virtual_tracks_.size(); ++i) {
+    meta("thread_name", kVirtualPid, vbase + static_cast<int>(i),
+         virtual_tracks_[i]);
+  }
+  std::vector<const VirtualEvent*> vsorted;
+  vsorted.reserve(virtual_events_.size());
+  for (const VirtualEvent& ev : virtual_events_) {
+    vsorted.push_back(&ev);
+  }
+  std::stable_sort(vsorted.begin(), vsorted.end(),
+                   [](const VirtualEvent* a, const VirtualEvent* b) {
+                     return a->start_us < b->start_us;
+                   });
+  for (const VirtualEvent* ev : vsorted) {
+    json::Value e = json::Value::MakeObject();
+    e.Set("name", ev->name);
+    e.Set("ph", "X");
+    e.Set("pid", kVirtualPid);
+    e.Set("tid", vbase + static_cast<int>(ev->track));
+    e.Set("ts", ev->start_us);
+    e.Set("dur", ev->dur_us);
+    if (!ev->args.empty()) {
+      json::Value args = json::Value::MakeObject();
+      for (const auto& [k, v] : ev->args) {
+        args.Set(k, v);
+      }
+      e.Set("args", std::move(args));
+    }
+    events.Append(std::move(e));
+  }
+
+  json::Value doc = json::Value::MakeObject();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  uint64_t dropped = 0;
+  for (const auto& t : threads_) {
+    dropped += t->recorded - t->ring.size();
+  }
+  json::Value other = json::Value::MakeObject();
+  other.Set("dropped_events", dropped);
+  doc.Set("otherData", std::move(other));
+  return doc.Dump(0);
+}
+
+bool TraceSession::WriteChromeJson(const std::string& path) const {
+  std::string body = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  bool ok = written == body.size() && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace biosim::obs

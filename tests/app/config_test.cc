@@ -151,6 +151,29 @@ TEST(ConfigTest, ValidationRejectsBadEnumValues) {
                std::invalid_argument);
 }
 
+TEST(ConfigTest, ObservabilityOutputKeysParse) {
+  RunConfig cfg = ParseConfigString(R"(
+[output]
+trace = trace.json
+metrics = metrics.jsonl
+metrics_every = 5
+report = report.json
+)");
+  EXPECT_EQ(cfg.trace_path, "trace.json");
+  EXPECT_EQ(cfg.metrics_path, "metrics.jsonl");
+  EXPECT_EQ(cfg.metrics_every, 5u);
+  EXPECT_EQ(cfg.report_path, "report.json");
+  // Defaults: observability off, every-step snapshots when enabled.
+  RunConfig defaults = ParseConfigString("");
+  EXPECT_TRUE(defaults.trace_path.empty());
+  EXPECT_TRUE(defaults.metrics_path.empty());
+  EXPECT_EQ(defaults.metrics_every, 1u);
+  EXPECT_TRUE(defaults.report_path.empty());
+  // A zero snapshot interval would never emit anything: rejected.
+  EXPECT_THROW(ParseConfigString("[output]\nmetrics_every = 0\n"),
+               std::invalid_argument);
+}
+
 TEST(ConfigTest, FileRoundTrip) {
   std::string path = std::string(::testing::TempDir()) + "/cfg.ini";
   {

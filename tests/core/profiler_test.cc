@@ -24,7 +24,48 @@ TEST(OpProfileTest, PreservesFirstSeenOrder) {
   ASSERT_EQ(p.entries().size(), 2u);
   EXPECT_EQ(p.entries()[0].name, "b");
   EXPECT_EQ(p.entries()[1].name, "a");
-  EXPECT_EQ(p.entries()[0].calls, 2u);
+  EXPECT_EQ(p.entries()[0].calls(), 2u);
+}
+
+TEST(OpProfileTest, ManyDistinctNamesStayConsistent) {
+  // The hash index must agree with the first-seen-order storage even when
+  // the entry count is large (the old implementation scanned linearly).
+  OpProfile p;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      p.Add("op_" + std::to_string(i), static_cast<double>(i));
+    }
+  }
+  ASSERT_EQ(p.entries().size(), 200u);
+  EXPECT_EQ(p.entries()[0].name, "op_0");
+  EXPECT_EQ(p.entries()[199].name, "op_199");
+  EXPECT_DOUBLE_EQ(p.TotalMs("op_7"), 21.0);
+  EXPECT_EQ(p.Find("op_7")->calls(), 3u);
+  EXPECT_EQ(p.Find("missing"), nullptr);
+}
+
+TEST(OpProfileTest, EntriesCarryLatencyDistribution) {
+  OpProfile p;
+  for (int i = 1; i <= 100; ++i) {
+    p.Add("op", static_cast<double>(i));
+  }
+  const OpProfile::Entry* e = p.Find("op");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->calls(), 100u);
+  EXPECT_DOUBLE_EQ(e->hist.max(), 100.0);
+  EXPECT_DOUBLE_EQ(e->hist.min(), 1.0);
+  // Log-bucketed percentiles: exact to within one geometric bucket (~7%).
+  EXPECT_NEAR(e->hist.Percentile(0.5), 50.0, 50.0 * 0.1);
+  EXPECT_NEAR(e->hist.Percentile(0.95), 95.0, 95.0 * 0.1);
+}
+
+TEST(OpProfileTest, HistSinkMatchesAdd) {
+  // The ScopedTimer histogram sink and Add feed the same entry.
+  OpProfile p;
+  p.Hist("op")->Add(2.0);
+  p.Add("op", 3.0);
+  EXPECT_DOUBLE_EQ(p.TotalMs("op"), 5.0);
+  EXPECT_EQ(p.entries().size(), 1u);
 }
 
 TEST(OpProfileTest, ToStringContainsPercentages) {

@@ -64,7 +64,7 @@ TEST(SimulationTest, StepAdvancesAndProfiles) {
   EXPECT_EQ(sim.step(), 3u);
   EXPECT_GT(sim.profile().TotalMs("mechanical forces"), 0.0);
   EXPECT_GT(sim.profile().TotalMs("neighborhood update"), 0.0);
-  EXPECT_EQ(sim.profile().entries()[0].calls, 3u);
+  EXPECT_EQ(sim.profile().entries()[0].calls(), 3u);
 }
 
 TEST(SimulationTest, OverlappingCellsRelaxApart) {

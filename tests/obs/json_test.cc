@@ -1,0 +1,94 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace biosim::obs::json {
+namespace {
+
+TEST(JsonTest, ScalarsSerialize) {
+  EXPECT_EQ(Value(nullptr).Dump(), "null");
+  EXPECT_EQ(Value(true).Dump(), "true");
+  EXPECT_EQ(Value(false).Dump(), "false");
+  EXPECT_EQ(Value(42).Dump(), "42");
+  EXPECT_EQ(Value(uint64_t{123456789012345}).Dump(), "123456789012345");
+  EXPECT_EQ(Value("hello").Dump(), "\"hello\"");
+  EXPECT_EQ(Value(1.5).Dump(), "1.5");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).Dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).Dump(), "null");
+}
+
+TEST(JsonTest, StringsEscape) {
+  Value v(std::string("a\"b\\c\n\t\x01"));
+  std::string out = v.Dump();
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndOverwrites) {
+  Value obj = Value::MakeObject();
+  obj.Set("z", 1);
+  obj.Set("a", 2);
+  obj.Set("z", 3);  // overwrite in place, not re-append
+  EXPECT_EQ(obj.Dump(), "{\"z\": 3, \"a\": 2}");
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->AsDouble(), 2.0);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, NestedRoundTrip) {
+  Value doc = Value::MakeObject();
+  doc.Set("name", "run");
+  doc.Set("ok", true);
+  Value arr = Value::MakeArray();
+  arr.Append(1);
+  arr.Append("two");
+  arr.Append(nullptr);
+  doc.Set("items", std::move(arr));
+  Value inner = Value::MakeObject();
+  inner.Set("pi", 3.25);
+  doc.Set("nested", std::move(inner));
+
+  std::string text = doc.Dump(2);
+  std::string error;
+  auto parsed = Parse(text, &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  EXPECT_EQ(parsed->Dump(2), text);
+  ASSERT_NE(parsed->Find("items"), nullptr);
+  EXPECT_EQ(parsed->Find("items")->size(), 3u);
+  EXPECT_EQ((*parsed->Find("items"))[1].AsString(), "two");
+  EXPECT_DOUBLE_EQ(parsed->Find("nested")->Find("pi")->AsDouble(), 3.25);
+}
+
+TEST(JsonTest, ParseHandlesEscapesAndUnicode) {
+  std::string error;
+  auto v = Parse(R"("a\"b\\\nA")", &error);
+  ASSERT_NE(v, nullptr) << error;
+  EXPECT_EQ(v->AsString(), "a\"b\\\nA");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_EQ(Parse("{", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(Parse("[1,]", &error), nullptr);
+  EXPECT_EQ(Parse("tru", &error), nullptr);
+  EXPECT_EQ(Parse("{} garbage", &error), nullptr);  // trailing junk
+  EXPECT_EQ(Parse("\"unterminated", &error), nullptr);
+}
+
+TEST(JsonTest, IntegersRoundTripExactly) {
+  // Counters are uint64 but serialized through double: exact up to 2^53.
+  uint64_t big = (uint64_t{1} << 53) - 1;
+  Value v(big);
+  auto parsed = Parse(v.Dump());
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(parsed->AsDouble()), big);
+}
+
+}  // namespace
+}  // namespace biosim::obs::json

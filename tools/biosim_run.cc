@@ -1,13 +1,28 @@
 // biosim_run: config-driven simulation runner.
 //
-//   biosim_run <config.ini> [--steps N] [--print-config] [--sanitize]
+//   biosim_run [config.ini] [--steps N] [--backend cpu|gpu] [--print-config]
+//              [--sanitize] [--trace FILE] [--metrics FILE]
+//              [--metrics-every N] [--report FILE] [--json]
 //
 // See src/app/config.h for the config format; examples/configs/ ships
-// ready-to-run files. --sanitize runs every GPU launch under the
-// compute-sanitizer-style analysis layer (requires backend type gpu) and
-// prints its report. Exit code 0 on success, 1 on any error (message on
-// stderr), 2 when the sanitizer found hazards.
+// ready-to-run files. Every value flag also accepts --flag=value. Without a
+// config file the built-in defaults run (a small cell-division model).
+//
+// Observability (docs/observability.md):
+//   --trace FILE          Chrome/Perfetto trace of the run (host spans +
+//                         simulated-GPU kernel tracks)
+//   --metrics FILE        per-step metrics snapshots, one JSON object per
+//                         line; cadence set by --metrics-every N
+//   --report FILE         versioned machine-readable run report
+//   --json                print the run report to stdout instead of the
+//                         human-readable summary
+//
+// --sanitize runs every GPU launch under the compute-sanitizer-style
+// analysis layer (requires backend type gpu) and prints its report. Exit
+// code 0 on success, 1 on any error (message on stderr), 2 when the
+// sanitizer found hazards.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <string>
@@ -15,23 +30,69 @@
 #include "app/config.h"
 #include "app/runner.h"
 
+namespace {
+
+/// Match `--name value` or `--name=value`; on a hit, fill `*value` and
+/// advance `*i` past any consumed operand.
+bool FlagValue(int argc, char** argv, int* i, const char* name,
+               std::string* value) {
+  const char* arg = argv[*i];
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) {
+    return false;
+  }
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0' && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace biosim::app;
 
   if (argc < 2) {
-    std::fprintf(
-        stderr,
-        "usage: %s <config.ini> [--steps N] [--print-config] [--sanitize]\n",
-        argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [config.ini] [--steps N] [--backend cpu|gpu] "
+                 "[--print-config] [--sanitize] [--trace FILE] "
+                 "[--metrics FILE] [--metrics-every N] [--report FILE] "
+                 "[--json]\n",
+                 argv[0]);
     return 1;
   }
 
   try {
-    RunConfig cfg = ParseConfigFile(argv[1]);
+    RunConfig cfg;
+    int first_flag = 1;
+    if (argc > 1 && argv[1][0] != '-') {
+      cfg = ParseConfigFile(argv[1]);
+      first_flag = 2;
+    }
+
     bool print_config = false;
-    for (int i = 2; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
-        cfg.steps = static_cast<uint64_t>(std::atoll(argv[++i]));
+    bool json_output = false;
+    std::string value;
+    for (int i = first_flag; i < argc; ++i) {
+      if (FlagValue(argc, argv, &i, "--steps", &value)) {
+        cfg.steps = static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else if (FlagValue(argc, argv, &i, "--backend", &value)) {
+        cfg.backend_type = value;
+      } else if (FlagValue(argc, argv, &i, "--trace", &value)) {
+        cfg.trace_path = value;
+      } else if (FlagValue(argc, argv, &i, "--metrics-every", &value)) {
+        cfg.metrics_every = static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else if (FlagValue(argc, argv, &i, "--metrics", &value)) {
+        cfg.metrics_path = value;
+      } else if (FlagValue(argc, argv, &i, "--report", &value)) {
+        cfg.report_path = value;
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        json_output = true;
       } else if (std::strcmp(argv[i], "--print-config") == 0) {
         print_config = true;
       } else if (std::strcmp(argv[i], "--sanitize") == 0) {
@@ -52,15 +113,21 @@ int main(int argc, char** argv) {
     }
 
     RunSummary s = ExecuteRun(cfg);
-    std::printf("agents: %zu -> %zu in %llu steps, wall %.1f ms",
-                s.initial_agents, s.final_agents,
-                static_cast<unsigned long long>(cfg.steps), s.wall_ms);
-    if (s.gpu_simulated_ms > 0.0) {
-      std::printf(", simulated GPU %.3f ms", s.gpu_simulated_ms);
+    if (json_output) {
+      std::printf("%s\n", s.report_json.c_str());
+    } else {
+      std::printf("agents: %zu -> %zu in %llu steps, wall %.1f ms",
+                  s.initial_agents, s.final_agents,
+                  static_cast<unsigned long long>(cfg.steps), s.wall_ms);
+      if (s.gpu_simulated_ms > 0.0) {
+        std::printf(", simulated GPU %.3f ms", s.gpu_simulated_ms);
+      }
+      std::printf("\n\n%s", s.profile.c_str());
     }
-    std::printf("\n\n%s", s.profile.c_str());
     if (cfg.sanitize) {
-      std::printf("\n%s", s.sanitizer_report.c_str());
+      if (!json_output) {
+        std::printf("\n%s", s.sanitizer_report.c_str());
+      }
       if (s.sanitizer_hazards > 0) {
         return 2;  // hazards found: fail like compute-sanitizer would
       }
