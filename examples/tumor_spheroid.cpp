@@ -37,7 +37,10 @@ class OxygenLimitedGrowth : public Behavior {
       return;
     }
     double dt = ctx.param().simulation_time_step;
-    oxygen->IncreaseConcentrationBy(cell.position(), -uptake_rate_ * dt);
+    // Deferred deposit: applied after the behaviors pass in agent order
+    // (direct IncreaseConcentrationBy is not safe from parallel behaviors).
+    // All agents therefore decide against the same pre-uptake field.
+    ctx.DepositSubstance(cell.position(), -uptake_rate_ * dt);
     if (oxygen->GetConcentration(cell.position()) < oxygen_threshold_) {
       return;  // quiescent in the hypoxic core
     }

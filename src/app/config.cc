@@ -131,6 +131,10 @@ RunConfig ParseConfigString(const std::string& text) {
        }},
       {"boundary",
        [&](const std::string& v, size_t) { cfg.boundary = v; }},
+      {"threads",
+       [&](const std::string& v, size_t l) {
+         cfg.num_threads = static_cast<uint32_t>(ToU64(v, l));
+       }},
   };
   schema["model"] = {
       {"type", [&](const std::string& v, size_t) { cfg.model_type = v; }},

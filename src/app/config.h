@@ -6,6 +6,7 @@
 //   max_bound = 1000
 //   timestep = 0.01
 //   boundary = clamp              ; clamp | torus | open
+//   threads = 0                   ; CPU workers; 0 = hardware concurrency
 //
 //   [model]
 //   type = cell_division          ; cell_division | random_cloud
@@ -53,6 +54,10 @@ struct RunConfig {
   double timestep = 0.01;
   double max_displacement = 3.0;
   std::string boundary = "clamp";  // clamp | torus | open
+  /// CPU worker threads for parallel engine operations; 0 = hardware
+  /// concurrency. Overridable via --threads and the BIOSIM_THREADS env var
+  /// (the CI determinism sweep varies this; results must not depend on it).
+  uint32_t num_threads = 0;
 
   // [model]
   std::string model_type = "cell_division";

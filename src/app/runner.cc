@@ -35,6 +35,7 @@ obs::json::Value ConfigJson(const RunConfig& cfg) {
   v.Set("timestep", cfg.timestep);
   v.Set("max_displacement", cfg.max_displacement);
   v.Set("boundary", cfg.boundary);
+  v.Set("threads", cfg.num_threads);
   v.Set("model_type", cfg.model_type);
   if (cfg.model_type == "cell_division") {
     v.Set("cells_per_dim", cfg.cells_per_dim);
@@ -64,6 +65,7 @@ std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
 
   Param param;
   param.random_seed = cfg.seed;
+  param.num_threads = cfg.num_threads;
   param.simulation_time_step = cfg.timestep;
   param.simulation_max_displacement = cfg.max_displacement;
   param.min_bound = 0.0;
@@ -103,6 +105,49 @@ std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
     sim->SetMechanicsBackend(std::make_unique<gpu::GpuMechanicalOp>(opts));
   }
   return sim;
+}
+
+DeterminismReport VerifyDeterminism(const RunConfig& cfg) {
+  cfg.Validate();
+
+  auto hash_trajectory = [](const RunConfig& run_cfg) {
+    auto sim = BuildSimulation(run_cfg);
+    std::vector<uint64_t> hashes;
+    hashes.reserve(run_cfg.steps + 1);
+    hashes.push_back(sim->StateHash());
+    for (uint64_t s = 0; s < run_cfg.steps; ++s) {
+      sim->Simulate(1);
+      hashes.push_back(sim->StateHash());
+    }
+    return hashes;
+  };
+
+  // Reference, a same-config repeat (catches run-to-run scheduling
+  // nondeterminism), and a single-thread run (catches any dependence on the
+  // worker count; skipped when the configured count already is 1).
+  std::vector<RunConfig> runs{cfg, cfg};
+  if (cfg.num_threads != 1) {
+    RunConfig serial = cfg;
+    serial.num_threads = 1;
+    runs.push_back(serial);
+  }
+
+  DeterminismReport report;
+  report.runs = static_cast<int>(runs.size());
+  std::vector<uint64_t> reference = hash_trajectory(runs[0]);
+  report.deterministic = true;
+  report.final_hash = reference.back();
+  for (size_t r = 1; r < runs.size(); ++r) {
+    std::vector<uint64_t> other = hash_trajectory(runs[r]);
+    for (size_t s = 0; s < reference.size(); ++s) {
+      if (other[s] != reference[s]) {
+        report.deterministic = false;
+        report.first_divergent_step = s;
+        return report;
+      }
+    }
+  }
+  return report;
 }
 
 RunSummary ExecuteRun(const RunConfig& cfg) {

@@ -39,6 +39,25 @@ struct RunSummary {
 /// config errors; returns the summary on success.
 RunSummary ExecuteRun(const RunConfig& cfg);
 
+/// Result of a determinism self-check (docs/determinism.md).
+struct DeterminismReport {
+  /// All compared runs produced identical per-step state hashes.
+  bool deterministic = false;
+  /// First step whose hashes diverged (only valid when !deterministic).
+  uint64_t first_divergent_step = 0;
+  /// Final state hash of the reference run.
+  uint64_t final_hash = 0;
+  /// Number of runs compared (>= 2; includes a forced single-thread run
+  /// when the configured thread count is not 1).
+  int runs = 0;
+};
+
+/// Run cfg's scenario multiple times from scratch — twice at the configured
+/// thread count, plus once single-threaded — hashing the full state after
+/// every step, and compare the hash sequences bitwise. Outputs configured in
+/// cfg are NOT written (the check is side-effect free).
+DeterminismReport VerifyDeterminism(const RunConfig& cfg);
+
 }  // namespace biosim::app
 
 #endif  // BIOSIM_APP_RUNNER_H_

@@ -18,10 +18,11 @@ class Secretion : public Behavior {
   explicit Secretion(double rate) : rate_(rate) {}
 
   void Run(Cell& cell, SimContext& ctx) override {
-    if (ctx.diffusion_grid != nullptr) {
-      ctx.diffusion_grid->IncreaseConcentrationBy(
-          cell.position(), rate_ * ctx.param().simulation_time_step);
-    }
+    // Routed through the context's deposit sink: applied after the parallel
+    // behaviors pass in agent-index order, so the field stays bitwise
+    // reproducible at any thread count.
+    ctx.DepositSubstance(cell.position(),
+                         rate_ * ctx.param().simulation_time_step);
   }
 
   std::unique_ptr<Behavior> Clone() const override {

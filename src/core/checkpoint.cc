@@ -18,30 +18,55 @@ struct Writer {
       std::fclose(f);
     }
   }
-  bool ok() const { return f != nullptr && std::ferror(f) == 0; }
+  bool ok() const { return f != nullptr && !failed; }
 
+  /// Every write is checked: a short fwrite (full disk, I/O error) latches
+  /// `failed`, so SaveCheckpoint reports the error instead of leaving a
+  /// silently truncated file that only fails at load time.
+  void Bytes(const void* data, size_t size, size_t count) {
+    if (failed || f == nullptr) {
+      return;
+    }
+    if (count != 0 && std::fwrite(data, size, count, f) != count) {
+      failed = true;
+    }
+  }
   void U64(uint64_t v) {
     // Explicit little-endian bytes: files are portable across hosts.
     unsigned char b[8];
     for (int i = 0; i < 8; ++i) {
       b[i] = static_cast<unsigned char>(v >> (8 * i));
     }
-    std::fwrite(b, 1, 8, f);
+    Bytes(b, 1, 8);
   }
   void Doubles(const std::vector<double>& v) {
     U64(v.size());
-    if (!v.empty()) {  // empty vector data() may be null; null fwrite is UB
-      std::fwrite(v.data(), sizeof(double), v.size(), f);
-    }
+    // Empty vector data() may be null; Bytes skips the null fwrite (UB).
+    Bytes(v.data(), sizeof(double), v.size());
   }
   void Vec3s(const std::vector<Double3>& v) {
     U64(v.size());
-    if (!v.empty()) {
-      std::fwrite(v.data(), sizeof(Double3), v.size(), f);
+    Bytes(v.data(), sizeof(Double3), v.size());
+  }
+
+  /// Flush and close, surfacing errors the buffered writes deferred (an
+  /// ENOSPC often only shows up at fflush/fclose). Returns overall success.
+  bool Close() {
+    if (f == nullptr) {
+      return false;
     }
+    if (std::fflush(f) != 0 || std::ferror(f) != 0) {
+      failed = true;
+    }
+    if (std::fclose(f) != 0) {
+      failed = true;
+    }
+    f = nullptr;
+    return !failed;
   }
 
   std::FILE* f;
+  bool failed = false;
 };
 
 struct Reader {
@@ -102,7 +127,7 @@ bool SaveCheckpoint(const ResourceManager& rm, const std::string& path) {
   if (!w.ok()) {
     return false;
   }
-  std::fwrite(kMagic, 1, sizeof(kMagic), w.f);
+  w.Bytes(kMagic, 1, sizeof(kMagic));
   w.U64(kVersion);
   w.U64(rm.size());
   w.Vec3s(rm.positions());
@@ -112,11 +137,9 @@ bool SaveCheckpoint(const ResourceManager& rm, const std::string& path) {
   w.Doubles(rm.densities());
   w.Vec3s(rm.tractor_forces());
   w.U64(rm.uids().size());
-  if (!rm.uids().empty()) {
-    std::fwrite(rm.uids().data(), sizeof(AgentUid), rm.uids().size(), w.f);
-  }
+  w.Bytes(rm.uids().data(), sizeof(AgentUid), rm.uids().size());
   w.U64(rm.next_uid());
-  return w.ok();
+  return w.Close();
 }
 
 bool LoadCheckpoint(ResourceManager* rm, const std::string& path) {

@@ -8,7 +8,9 @@
 #define BIOSIM_CORE_SIM_CONTEXT_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "core/math.h"
 #include "core/param.h"
 #include "core/random.h"
 #include "core/resource_manager.h"
@@ -16,6 +18,13 @@
 namespace biosim {
 
 class DiffusionGrid;
+
+/// A substance deposit requested by a behavior, to be applied to the
+/// context's diffusion grid after the (possibly parallel) behaviors pass.
+struct PendingDeposit {
+  Double3 position;
+  double amount;
+};
 
 class SimContext {
  public:
@@ -32,9 +41,26 @@ class SimContext {
     return Random::ForStream(param_.random_seed, uid, step_);
   }
 
+  /// Deposit `amount` of the context's substance into the voxel containing
+  /// `pos`. When a deposit sink is installed (Simulation::RunBehaviors does
+  /// this), the deposit is buffered and applied after the behaviors pass in
+  /// agent-index order — the same order at any thread count, so the
+  /// concentration field stays bitwise reproducible. Without a sink (direct
+  /// serial use, unit tests) the deposit applies immediately. No-op when no
+  /// diffusion grid is attached.
+  void DepositSubstance(const Double3& pos, double amount);
+
   /// Extracellular substance grid, if the model registered one (may be
-  /// nullptr; set by the Simulation before behaviors run).
+  /// nullptr; set by the Simulation before behaviors run). Reads
+  /// (GetConcentration / GetGradient) are safe from parallel behaviors; for
+  /// writes use DepositSubstance — IncreaseConcentrationBy is not safe
+  /// against concurrent callers and would make the sum order (and therefore
+  /// the field bits) depend on thread scheduling.
   DiffusionGrid* diffusion_grid = nullptr;
+
+  /// Deferred-deposit sink (owned by the caller running the behaviors pass;
+  /// one per worker chunk). Installed/cleared by Simulation::RunBehaviors.
+  std::vector<PendingDeposit>* deposit_sink = nullptr;
 
  private:
   const Param& param_;

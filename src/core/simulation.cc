@@ -1,13 +1,31 @@
 #include "core/simulation.h"
 
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
 #include "core/behaviors/grow_divide.h"
 #include "core/cell.h"
 #include "core/sim_context.h"
+#include "core/state_hash.h"
 #include "core/timer.h"
 #include "obs/trace.h"
 #include "spatial/uniform_grid.h"
 
 namespace biosim {
+
+// Defined here rather than in a sim_context.cc so the engine layer (which
+// already links biosim_diffusion) owns the dependency on DiffusionGrid.
+void SimContext::DepositSubstance(const Double3& pos, double amount) {
+  if (diffusion_grid == nullptr) {
+    return;
+  }
+  if (deposit_sink != nullptr) {
+    deposit_sink->push_back({pos, amount});
+    return;
+  }
+  diffusion_grid->IncreaseConcentrationBy(pos, amount);
+}
 
 Simulation::Simulation(Param param)
     : param_(param),
@@ -81,16 +99,26 @@ void Simulation::CreateRandomCells(size_t count, double diameter) {
 
 void Simulation::RunBehaviors() {
   size_t n = rm_.size();
-  SimContext ctx(param_, rm_, step_);
-  ctx.diffusion_grid = diffusion_grid();
 
   // Deferred structural changes make parallel execution safe; the commit
   // phase re-sorts them by mother row, so the outcome is thread-count
   // independent (each agent's RNG stream is keyed by uid and step). Chunked
   // so each worker emits one trace span covering its contiguous range —
   // the per-worker tracks in the timeline come from here.
+  //
+  // Substance deposits are buffered per chunk and applied below in chunk
+  // order. Chunks are contiguous ascending agent ranges, so the merged
+  // sequence is the global agent-index order no matter how many workers ran
+  // — the concentration field receives the same FP additions in the same
+  // order at any thread count (docs/determinism.md).
+  std::mutex deposit_mutex;
+  std::vector<std::pair<size_t, std::vector<PendingDeposit>>> deposit_chunks;
   ParallelForChunks(mode_, n, [&](size_t begin, size_t end) {
     TRACE_SCOPE("behaviors chunk");
+    SimContext ctx(param_, rm_, step_);
+    ctx.diffusion_grid = diffusion_grid();
+    std::vector<PendingDeposit> deposits;
+    ctx.deposit_sink = &deposits;
     for (size_t i = begin; i < end; ++i) {
       if (rm_.behaviors_of(i).empty()) {
         continue;
@@ -100,7 +128,32 @@ void Simulation::RunBehaviors() {
         b->Run(cell, ctx);
       }
     }
+    if (!deposits.empty()) {
+      std::lock_guard<std::mutex> lock(deposit_mutex);
+      deposit_chunks.emplace_back(begin, std::move(deposits));
+    }
   });
+
+  if (!deposit_chunks.empty()) {
+    std::sort(deposit_chunks.begin(), deposit_chunks.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    DiffusionGrid* grid = diffusion_grid();
+    for (const auto& [begin, deposits] : deposit_chunks) {
+      (void)begin;
+      for (const PendingDeposit& d : deposits) {
+        grid->IncreaseConcentrationBy(d.position, d.amount);
+      }
+    }
+  }
+}
+
+uint64_t Simulation::StateHash() const {
+  uint64_t h = HashBytes(&step_, sizeof(step_));
+  h = HashPopulation(rm_, h);
+  for (const auto& g : diffusion_grids_) {
+    h = HashDoubles(g->raw(), h);
+  }
+  return h;
 }
 
 void Simulation::Simulate(uint64_t steps) {

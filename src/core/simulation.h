@@ -92,6 +92,12 @@ class Simulation {
   void SetStep(uint64_t step) { step_ = step; }
   OpProfile& profile() { return profile_; }
 
+  /// Bitwise fingerprint of the mutable simulation state: step counter, the
+  /// full agent population (core/state_hash.h) and every diffusion field.
+  /// Two runs of the same seeded config are deterministic iff their per-step
+  /// hash sequences are identical (docs/determinism.md).
+  uint64_t StateHash() const;
+
  private:
   void RunBehaviors();
 

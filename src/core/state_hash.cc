@@ -1,0 +1,43 @@
+#include "core/state_hash.h"
+
+#include "core/resource_manager.h"
+
+namespace biosim {
+
+namespace {
+constexpr uint64_t kFnv1aPrime = 1099511628211ull;
+}  // namespace
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+uint64_t HashDoubles(const std::vector<double>& v, uint64_t h) {
+  return v.empty() ? h : HashBytes(v.data(), v.size() * sizeof(double), h);
+}
+
+uint64_t HashVec3s(const std::vector<Double3>& v, uint64_t h) {
+  return v.empty() ? h : HashBytes(v.data(), v.size() * sizeof(Double3), h);
+}
+
+uint64_t HashPopulation(const ResourceManager& rm, uint64_t h) {
+  uint64_t n = rm.size();
+  h = HashBytes(&n, sizeof(n), h);
+  h = HashVec3s(rm.positions(), h);
+  h = HashDoubles(rm.diameters(), h);
+  h = HashDoubles(rm.volumes(), h);
+  h = HashDoubles(rm.adherences(), h);
+  h = HashDoubles(rm.densities(), h);
+  h = HashVec3s(rm.tractor_forces(), h);
+  if (!rm.uids().empty()) {
+    h = HashBytes(rm.uids().data(), rm.uids().size() * sizeof(AgentUid), h);
+  }
+  return h;
+}
+
+}  // namespace biosim

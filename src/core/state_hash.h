@@ -1,0 +1,39 @@
+// Bitwise state fingerprints for determinism checks.
+//
+// The determinism harness (docs/determinism.md) compares runs by hashing the
+// raw bytes of the simulation state: two runs are bitwise identical iff their
+// per-step hash sequences match. FNV-1a over the IEEE-754 bytes is exact for
+// this purpose — any single-ULP divergence changes the hash — and cheap
+// enough to compute every step.
+//
+// Caveat: hashing bytes means -0.0 and +0.0 (and different NaN payloads)
+// hash differently even though they compare equal. That is intentional:
+// "bitwise identical" is the contract being enforced.
+#ifndef BIOSIM_CORE_STATE_HASH_H_
+#define BIOSIM_CORE_STATE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/math.h"
+
+namespace biosim {
+
+class ResourceManager;
+
+inline constexpr uint64_t kFnv1aOffset = 14695981039346656037ull;
+
+/// FNV-1a over `len` raw bytes, chained through `h`.
+uint64_t HashBytes(const void* data, size_t len, uint64_t h = kFnv1aOffset);
+
+uint64_t HashDoubles(const std::vector<double>& v, uint64_t h = kFnv1aOffset);
+uint64_t HashVec3s(const std::vector<Double3>& v, uint64_t h = kFnv1aOffset);
+
+/// Fingerprint of the full agent population: positions, diameters, volumes,
+/// adherences, densities, tractor forces and uids, chained through `h`.
+uint64_t HashPopulation(const ResourceManager& rm, uint64_t h = kFnv1aOffset);
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_STATE_HASH_H_

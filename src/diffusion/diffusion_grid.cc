@@ -99,6 +99,16 @@ bool DiffusionGrid::VoxelOf(const Double3& pos, size_t* x, size_t* y,
 }
 
 void DiffusionGrid::IncreaseConcentrationBy(const Double3& pos, double amount) {
+  // Not safe from concurrent callers: the += below is a plain read-modify-
+  // write, and even an atomic one would make the sum order (and the field
+  // bits) depend on thread scheduling. Behaviors must deposit through
+  // SimContext::DepositSubstance, which buffers per worker and applies in
+  // agent-index order after the parallel pass.
+#if defined(_OPENMP)
+  assert(omp_in_parallel() == 0 &&
+         "IncreaseConcentrationBy called from a parallel region; use "
+         "SimContext::DepositSubstance");
+#endif
   size_t x, y, z;
   if (VoxelOf(pos, &x, &y, &z)) {
     c_[Index(x, y, z)] += amount;
@@ -119,10 +129,6 @@ Double3 DiffusionGrid::GetGradient(const Double3& pos) const {
     return {};
   }
   auto at = [&](size_t xi, size_t yi, size_t zi) { return c_[Index(xi, yi, zi)]; };
-  auto diff = [&](size_t lo, size_t hi, double span) {
-    return span > 0.0 ? (hi - lo) / span : 0.0;
-  };
-  (void)diff;
 
   double gx, gy, gz;
   // Central differences in the interior, one-sided at the faces.

@@ -50,6 +50,10 @@ class DiffusionGrid {
   void Step(double dt, ExecMode mode = ExecMode::kParallel);
 
   /// Deposit `amount` (concentration units) into the voxel containing `pos`.
+  /// NOT safe from concurrent callers (plain read-modify-write; asserts it
+  /// is outside any OpenMP parallel region). Behaviors running under the
+  /// parallel scheduler must use SimContext::DepositSubstance instead, which
+  /// defers deposits and applies them in deterministic agent-index order.
   void IncreaseConcentrationBy(const Double3& pos, double amount);
 
   /// Concentration of the voxel containing `pos` (0 outside the domain).

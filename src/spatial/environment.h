@@ -42,7 +42,8 @@ class Environment {
 
   /// Interaction radius the index was built for (= largest agent diameter +
   /// margin). Queries with a larger radius are out of contract for the
-  /// uniform grid (it only visits the 27 surrounding boxes).
+  /// uniform grid (it only visits the 27 surrounding boxes) and throw
+  /// std::invalid_argument rather than silently dropping neighbors.
   virtual double interaction_radius() const = 0;
 
   virtual const char* name() const = 0;

@@ -1,8 +1,9 @@
 #include "spatial/uniform_grid.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "physics/displacement.h"
 
@@ -71,13 +72,30 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
                  static_cast<size_t>(num_boxes_axis_.y) *
                  static_cast<size_t>(num_boxes_axis_.z);
 
+  if (fixed_box_length_ > 0.0 &&
+      interaction_radius_ > fixed_box_length_ + 1e-12) {
+    // The 27-box scheme only covers queries up to one box length. A fixed
+    // box edge smaller than the interaction radius would silently drop
+    // neighbors in every force evaluation; fail fast instead.
+    throw std::invalid_argument(
+        "UniformGridEnvironment: fixed_box_length " +
+        std::to_string(fixed_box_length_) +
+        " is smaller than the interaction radius " +
+        std::to_string(interaction_radius_) +
+        "; queries would drop neighbors outside the 27 surrounding boxes");
+  }
+
   ResetAtomicVector(box_start_, total, kEmpty, mode);
   ResetAtomicVector(box_count_, total, 0, mode);
   successors_.resize(n);
 
   // Parallel insert: each agent atomically pushes itself onto its box's
-  // linked list. The resulting per-box order depends on thread interleaving
-  // but the *set* per box is deterministic, which is all the mechanics needs.
+  // linked list. The resulting per-box order depends on thread interleaving;
+  // the canonicalization pass below rewrites every chain into ascending
+  // agent index so traversal order is identical for any interleaving, any
+  // thread count, and serial vs parallel builds. MechanicalForcesOp
+  // accumulates forces in traversal order, so this is what makes CPU
+  // trajectories bitwise reproducible (FP addition is not associative).
   const auto& pos = rm.positions();
   ParallelFor(mode, n, [&](size_t i) {
     size_t b = BoxIndexOf(pos[i]);
@@ -85,6 +103,28 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
                                           std::memory_order_relaxed);
     successors_[i] = prev;
     box_count_[b].fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // Canonicalize: sort each box's chain ascending. Boxes touch disjoint
+  // successors_ entries (an agent lives in exactly one box), so the pass
+  // parallelizes over boxes without synchronization. Chains of length 0/1
+  // are already canonical and skipped.
+  ParallelFor(mode, total, [&](size_t b) {
+    int32_t head = box_start_[b].load(std::memory_order_relaxed);
+    if (head == kEmpty || successors_[head] == kEmpty) {
+      return;
+    }
+    thread_local std::vector<int32_t> chain;
+    chain.clear();
+    for (int32_t j = head; j != kEmpty; j = successors_[j]) {
+      chain.push_back(j);
+    }
+    std::sort(chain.begin(), chain.end());
+    box_start_[b].store(chain.front(), std::memory_order_relaxed);
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      successors_[chain[k]] = chain[k + 1];
+    }
+    successors_[chain.back()] = kEmpty;
   });
 }
 
@@ -105,8 +145,16 @@ size_t UniformGridEnvironment::BoxIndexOf(const Double3& pos) const {
 void UniformGridEnvironment::ForEachNeighborWithinRadius(
     AgentIndex query, const ResourceManager& rm, double radius,
     NeighborFn fn) const {
-  assert(radius <= box_length_ + 1e-12 &&
-         "uniform grid only covers the 27 surrounding boxes");
+  if (radius > box_length_ + 1e-12) {
+    // Out of contract in any build type: the traversal only visits the 27
+    // surrounding boxes, so a larger radius would silently miss neighbors
+    // (previously only a debug assert; with fixed_box_length_ set, release
+    // builds dropped neighbors without a trace).
+    throw std::invalid_argument(
+        "UniformGridEnvironment: query radius " + std::to_string(radius) +
+        " exceeds the box length " + std::to_string(box_length_) +
+        "; the uniform grid only covers the 27 surrounding boxes");
+  }
   const auto& pos = rm.positions();
   const Double3 q = pos[query];
   const double r2 = radius * radius;
@@ -183,6 +231,9 @@ double UniformGridEnvironment::MeanNeighborCount(const ResourceManager& rm,
   if (rm.empty()) {
     return 0.0;
   }
+  // A zero stride would loop forever on the first agent; treat it as "sample
+  // everything" instead.
+  sample_stride = std::max<size_t>(1, sample_stride);
   size_t count = 0;
   size_t samples = 0;
   for (size_t i = 0; i < rm.size(); i += sample_stride) {

@@ -12,6 +12,13 @@
 // box.length, so the build — unlike the kd-tree's — parallelizes perfectly.
 // The same four arrays (box starts, box lengths, successors, box coordinates)
 // are what the GPU kernels consume after a single H2D copy.
+//
+// Determinism contract (docs/determinism.md): after Update(), every box chain
+// is canonicalized to ascending agent index, so ForEachNeighborWithinRadius
+// visits neighbors in an order independent of thread interleaving and of the
+// serial/parallel build mode. Downstream order-sensitive reductions (force
+// accumulation in MechanicalForcesOp) are therefore bitwise reproducible
+// across runs and thread counts.
 #ifndef BIOSIM_SPATIAL_UNIFORM_GRID_H_
 #define BIOSIM_SPATIAL_UNIFORM_GRID_H_
 
@@ -49,7 +56,8 @@ class UniformGridEnvironment : public Environment {
   size_t total_boxes() const { return box_start_.size(); }
   const Double3& grid_min() const { return grid_min_; }
 
-  /// First agent in box b, or kEmpty.
+  /// First agent in box b, or kEmpty. Chains are canonical: ascending agent
+  /// index, regardless of the build's thread interleaving.
   int32_t box_start(size_t b) const {
     return box_start_[b].load(std::memory_order_relaxed);
   }
@@ -74,7 +82,8 @@ class UniformGridEnvironment : public Environment {
   double MeanAgentsPerBox() const;
 
   /// Average neighbor count over a sample of agents at the interaction
-  /// radius; this is the paper's "neighborhood density" n.
+  /// radius; this is the paper's "neighborhood density" n. A
+  /// `sample_stride` of 0 is clamped to 1 (sample every agent).
   double MeanNeighborCount(const ResourceManager& rm,
                            size_t sample_stride = 1) const;
 

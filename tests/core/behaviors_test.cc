@@ -2,6 +2,8 @@
 // interaction with the simulation loop.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/behaviors/apoptosis.h"
 #include "core/behaviors/chemotaxis.h"
 #include "core/behaviors/grow_divide.h"
@@ -148,6 +150,52 @@ TEST(BehaviorCloneTest, CopyToNewControlsInheritance) {
   EXPECT_EQ(rm.behaviors_of(0).size(), 2u);  // mother keeps both
   ASSERT_EQ(rm.behaviors_of(1).size(), 1u);  // daughter only the walk
   EXPECT_STREQ(rm.behaviors_of(1)[0]->name(), "RandomWalk");
+}
+
+TEST(SecretionTest, DepositsDeferThroughTheSinkWhenInstalled) {
+  // The determinism contract for behaviors (docs/determinism.md): writes to
+  // the field go through SimContext::DepositSubstance, which buffers while a
+  // sink is installed (the parallel behaviors pass) and applies immediately
+  // otherwise.
+  Param p;
+  ResourceManager rm;
+  DiffusionGrid grid("s", 0.0, 100.0, 4, 1.0, 0.0);
+  SimContext ctx(p, rm, 0);
+  ctx.diffusion_grid = &grid;
+  std::vector<PendingDeposit> sink;
+  ctx.deposit_sink = &sink;
+
+  NewAgentSpec s;
+  s.position = {50, 50, 50};
+  AgentIndex i = rm.AddAgent(std::move(s));
+  Cell cell(rm, i);
+  Secretion sec(5.0);
+  sec.Run(cell, ctx);
+
+  EXPECT_DOUBLE_EQ(grid.TotalAmount(), 0.0);  // deferred, not applied
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_DOUBLE_EQ(sink[0].amount, 5.0 * p.simulation_time_step);
+
+  ctx.deposit_sink = nullptr;  // outside the parallel pass: immediate
+  sec.Run(cell, ctx);
+  EXPECT_DOUBLE_EQ(grid.TotalAmount(), 5.0 * p.simulation_time_step);
+}
+
+TEST(SecretionTest, SimulationAppliesEachDepositExactlyOncePerStep) {
+  Param p;
+  p.max_bound = 100.0;
+  Simulation sim(p);
+  sim.AddDiffusionGrid(std::make_unique<DiffusionGrid>(
+      "s", 0.0, 100.0, 4, 1.0, /*decay_constant=*/0.0));
+  AgentIndex i = sim.AddCell({50, 50, 50}, 10.0);
+  sim.rm().AttachBehavior(i, std::make_unique<Secretion>(4.0));
+  sim.Simulate(1);
+  // Closed boundary, no decay: the total is exactly the one deposit.
+  EXPECT_NEAR(sim.diffusion_grid()->TotalAmount(),
+              4.0 * p.simulation_time_step, 1e-12);
+  sim.Simulate(1);
+  EXPECT_NEAR(sim.diffusion_grid()->TotalAmount(),
+              2.0 * 4.0 * p.simulation_time_step, 1e-12);
 }
 
 TEST(SecretionTest, NoGridIsSafeNoop) {

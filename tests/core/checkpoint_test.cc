@@ -99,6 +99,45 @@ TEST(CheckpointTest, MissingFileFails) {
   EXPECT_FALSE(SaveCheckpoint(rm, "/nonexistent_dir_xyz/x.ckpt"));
 }
 
+TEST(CheckpointTest, FullDeviceSaveReportsFailure) {
+  // Regression: fwrite results were unchecked, so a full disk produced a
+  // silently truncated checkpoint that only failed at load time. /dev/full
+  // returns ENOSPC on write (possibly only at flush time, which is why
+  // SaveCheckpoint must check the flush too).
+  std::FILE* probe = std::fopen("/dev/full", "wb");
+  if (probe == nullptr) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  std::fclose(probe);
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 64, 0.0, 50.0, 10.0);
+  EXPECT_FALSE(SaveCheckpoint(rm, "/dev/full"));
+}
+
+TEST(CheckpointTest, RejectsTruncationAtAnyPoint) {
+  // A checkpoint cut off anywhere — inside the magic, a length word, or an
+  // array — must fail the load and leave the target untouched.
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 20, 0.0, 50.0, 10.0);
+  std::string path = TempPath("trunc_points.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(rm, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+
+  for (long cut : {0L, 4L, 8L, 15L, 16L, 24L, size / 4, size / 2, size - 1}) {
+    ASSERT_TRUE(SaveCheckpoint(rm, path));
+    ASSERT_EQ(truncate(path.c_str(), cut), 0);
+    ResourceManager target;
+    testutil::FillRandomCells(&target, 3, 0.0, 10.0, 5.0);
+    EXPECT_FALSE(LoadCheckpoint(&target, path)) << "cut at " << cut;
+    EXPECT_EQ(target.size(), 3u) << "cut at " << cut;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointTest, ResumedSimulationEvolvesIdentically) {
   // Run 6 steps; checkpoint at 3; resume and compare to the uninterrupted
   // run. Behaviors are re-attached after restore (they are not serialized).

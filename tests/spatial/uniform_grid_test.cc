@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "../test_util.h"
 
@@ -164,6 +166,84 @@ TEST(UniformGridTest, UpdateAfterGrowthResizesBoxes) {
   rm.diameters()[3] = 16.0;
   env.Update(rm, param, ExecMode::kSerial);
   EXPECT_DOUBLE_EQ(env.box_length(), 16.0);
+}
+
+TEST(UniformGridTest, MeanNeighborCountStrideZeroIsClampedNotInfinite) {
+  // Regression: stride 0 used to hang the sampling loop (`q += 0`). It now
+  // clamps to 1, i.e. an exact (all-agents) mean.
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 100, 0.0, 40.0, 10.0, /*seed=*/12);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  EXPECT_DOUBLE_EQ(env.MeanNeighborCount(rm, 0), env.MeanNeighborCount(rm, 1));
+}
+
+TEST(UniformGridTest, OversizedQueryRadiusThrows) {
+  // Regression: a radius beyond the box length used to be a debug-only
+  // assert — release builds silently dropped neighbors outside the 27
+  // surrounding boxes. It is a real error now.
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 50, 0.0, 40.0, 10.0);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kSerial);
+  EXPECT_THROW(env.ForEachNeighborWithinRadius(
+                   0, rm, env.box_length() * 1.5, [](AgentIndex, double) {}),
+               std::invalid_argument);
+  // At or below the box length stays fine (the +epsilon tolerance).
+  EXPECT_NO_THROW(env.ForEachNeighborWithinRadius(
+      0, rm, env.box_length(), [](AgentIndex, double) {}));
+}
+
+TEST(UniformGridTest, UpdateRejectsFixedBoxSmallerThanInteractionRadius) {
+  // The same contract enforced at build time: a fixed box edge below the
+  // interaction radius would make every force query drop neighbors.
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 50, 0.0, 40.0, /*diameter=*/12.0);
+  Param param;
+  UniformGridEnvironment env(/*fixed_box_length=*/5.0);
+  EXPECT_THROW(env.Update(rm, param, ExecMode::kSerial),
+               std::invalid_argument);
+}
+
+TEST(UniformGridTest, BoxChainsAreCanonicalAscendingAfterParallelBuild) {
+  // The determinism tentpole's spatial half: whatever interleaving built
+  // the linked lists, Update leaves every chain sorted by agent index.
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 500, 0.0, 30.0, 10.0, /*seed=*/3);
+  Param param;
+  UniformGridEnvironment env;
+  env.Update(rm, param, ExecMode::kParallel);
+  for (size_t b = 0; b < env.total_boxes(); ++b) {
+    int32_t prev = -1;
+    for (int32_t j = env.box_start(b); j != UniformGridEnvironment::kEmpty;
+         j = env.successors()[j]) {
+      EXPECT_GT(j, prev) << "box " << b << " chain is not ascending";
+      prev = j;
+    }
+  }
+}
+
+TEST(UniformGridTest, TraversalOrderIsIdenticalSerialVsParallel) {
+  // Stronger than equal neighbor *sets*: the *sequence* each query visits
+  // must match, because force accumulation order is what determinism
+  // rests on (docs/determinism.md).
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 400, 0.0, 35.0, 10.0, /*seed=*/21);
+  Param param;
+  UniformGridEnvironment serial, parallel;
+  serial.Update(rm, param, ExecMode::kSerial);
+  parallel.Update(rm, param, ExecMode::kParallel);
+  double r = serial.interaction_radius();
+  for (AgentIndex q = 0; q < rm.size(); ++q) {
+    std::vector<AgentIndex> order_serial, order_parallel;
+    serial.ForEachNeighborWithinRadius(
+        q, rm, r, [&](AgentIndex j, double) { order_serial.push_back(j); });
+    parallel.ForEachNeighborWithinRadius(
+        q, rm, r, [&](AgentIndex j, double) { order_parallel.push_back(j); });
+    ASSERT_EQ(order_serial, order_parallel) << "query " << q;
+  }
 }
 
 TEST(UniformGridTest, MeanAgentsPerBoxDiagnostic) {

@@ -1,12 +1,25 @@
 // biosim_run: config-driven simulation runner.
 //
-//   biosim_run [config.ini] [--steps N] [--backend cpu|gpu] [--print-config]
-//              [--sanitize] [--trace FILE] [--metrics FILE]
+//   biosim_run [config.ini] [--steps N] [--backend cpu|gpu] [--threads N]
+//              [--print-config] [--sanitize] [--trace FILE] [--metrics FILE]
 //              [--metrics-every N] [--report FILE] [--json]
+//              [--verify-determinism]
 //
 // See src/app/config.h for the config format; examples/configs/ ships
 // ready-to-run files. Every value flag also accepts --flag=value. Without a
 // config file the built-in defaults run (a small cell-division model).
+//
+// The BIOSIM_THREADS environment variable overrides the worker thread count
+// (equivalent to --threads; the explicit flag wins). The CI determinism
+// sweep runs the same config under several BIOSIM_THREADS values and
+// requires identical state hashes.
+//
+// --verify-determinism runs the configured scenario multiple times from
+// scratch (twice at the configured thread count plus once single-threaded),
+// hashes the full simulation state after every step, and compares the hash
+// sequences bitwise (docs/determinism.md). Prints the final state hash and
+// exits 0 when all runs are identical, 3 when they diverge. No configured
+// outputs are written in this mode.
 //
 // Observability (docs/observability.md):
 //   --trace FILE          Chrome/Perfetto trace of the run (host spans +
@@ -20,7 +33,8 @@
 // --sanitize runs every GPU launch under the compute-sanitizer-style
 // analysis layer (requires backend type gpu) and prints its report. Exit
 // code 0 on success, 1 on any error (message on stderr), 2 when the
-// sanitizer found hazards.
+// sanitizer found hazards, 3 when --verify-determinism found divergence.
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,9 +74,9 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s [config.ini] [--steps N] [--backend cpu|gpu] "
-                 "[--print-config] [--sanitize] [--trace FILE] "
+                 "[--threads N] [--print-config] [--sanitize] [--trace FILE] "
                  "[--metrics FILE] [--metrics-every N] [--report FILE] "
-                 "[--json]\n",
+                 "[--json] [--verify-determinism]\n",
                  argv[0]);
     return 1;
   }
@@ -74,15 +88,22 @@ int main(int argc, char** argv) {
       cfg = ParseConfigFile(argv[1]);
       first_flag = 2;
     }
+    if (const char* env_threads = std::getenv("BIOSIM_THREADS")) {
+      cfg.num_threads =
+          static_cast<uint32_t>(std::atoll(env_threads));
+    }
 
     bool print_config = false;
     bool json_output = false;
+    bool verify_determinism = false;
     std::string value;
     for (int i = first_flag; i < argc; ++i) {
       if (FlagValue(argc, argv, &i, "--steps", &value)) {
         cfg.steps = static_cast<uint64_t>(std::atoll(value.c_str()));
       } else if (FlagValue(argc, argv, &i, "--backend", &value)) {
         cfg.backend_type = value;
+      } else if (FlagValue(argc, argv, &i, "--threads", &value)) {
+        cfg.num_threads = static_cast<uint32_t>(std::atoll(value.c_str()));
       } else if (FlagValue(argc, argv, &i, "--trace", &value)) {
         cfg.trace_path = value;
       } else if (FlagValue(argc, argv, &i, "--metrics-every", &value)) {
@@ -97,6 +118,8 @@ int main(int argc, char** argv) {
         print_config = true;
       } else if (std::strcmp(argv[i], "--sanitize") == 0) {
         cfg.sanitize = true;
+      } else if (std::strcmp(argv[i], "--verify-determinism") == 0) {
+        verify_determinism = true;
       } else {
         std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
         return 1;
@@ -110,6 +133,22 @@ int main(int argc, char** argv) {
           cfg.backend_type.c_str(),
           static_cast<unsigned long long>(cfg.steps),
           static_cast<unsigned long long>(cfg.seed));
+    }
+
+    if (verify_determinism) {
+      DeterminismReport r = VerifyDeterminism(cfg);
+      if (!r.deterministic) {
+        std::fprintf(stderr,
+                     "determinism: FAIL (state hashes diverge at step %" PRIu64
+                     " across %d runs)\n",
+                     r.first_divergent_step, r.runs);
+        return 3;
+      }
+      std::printf("determinism: OK (%d runs, %llu steps, final state hash "
+                  "%016" PRIx64 ")\n",
+                  r.runs, static_cast<unsigned long long>(cfg.steps),
+                  r.final_hash);
+      return 0;
     }
 
     RunSummary s = ExecuteRun(cfg);
