@@ -72,6 +72,10 @@ void RunConfig::Validate() const {
   if (backend_type != "cpu" && backend_type != "gpu") {
     fail("backend type must be cpu or gpu, got '" + backend_type + "'");
   }
+  if (zorder_every > 0 && backend_type == "gpu") {
+    fail("zorder_every is a CPU-path knob (GPU versions 2+ already Z-order "
+         "sort on the device)");
+  }
   if (gpu_device != "1080ti" && gpu_device != "v100") {
     fail("gpu device must be 1080ti or v100, got '" + gpu_device + "'");
   }
@@ -134,6 +138,14 @@ RunConfig ParseConfigString(const std::string& text) {
       {"threads",
        [&](const std::string& v, size_t l) {
          cfg.num_threads = static_cast<uint32_t>(ToU64(v, l));
+       }},
+      {"cpu_fast_path",
+       [&](const std::string& v, size_t l) {
+         cfg.cpu_fast_path = ToBool(v, l);
+       }},
+      {"zorder_every",
+       [&](const std::string& v, size_t l) {
+         cfg.zorder_every = ToU64(v, l);
        }},
   };
   schema["model"] = {

@@ -7,6 +7,8 @@
 //   timestep = 0.01
 //   boundary = clamp              ; clamp | torus | open
 //   threads = 0                   ; CPU workers; 0 = hardware concurrency
+//   cpu_fast_path = true          ; fused CSR force kernel (docs/perf.md)
+//   zorder_every = 0              ; re-sort agents into Z-order every N steps
 //
 //   [model]
 //   type = cell_division          ; cell_division | random_cloud
@@ -58,6 +60,13 @@ struct RunConfig {
   /// concurrency. Overridable via --threads and the BIOSIM_THREADS env var
   /// (the CI determinism sweep varies this; results must not depend on it).
   uint32_t num_threads = 0;
+  /// Fused CSR force kernel on the uniform-grid CPU path (docs/perf.md);
+  /// bitwise-identical to the generic callback path, so disabling it only
+  /// trades speed. Ignored by the GPU backend.
+  bool cpu_fast_path = true;
+  /// Re-sort agents into Z-order every N steps on the CPU pipeline
+  /// (0 = never). Cache-locality knob; permutes rows uid-stably.
+  uint64_t zorder_every = 0;
 
   // [model]
   std::string model_type = "cell_division";

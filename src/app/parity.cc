@@ -43,6 +43,10 @@ struct BackendSpec {
   int gpu_version = 0;
   bool bitwise = false;
   double tolerance = 0.0;
+  /// Route the CPU grid backend through the fused CSR force kernel
+  /// (docs/perf.md). The reference rows pin this off so the cpu_fast rows
+  /// prove fused == legacy rather than fused == fused.
+  bool fast_path = false;
 };
 
 std::unique_ptr<Simulation> MakeSim(const ParityScenario& sc,
@@ -51,6 +55,7 @@ std::unique_ptr<Simulation> MakeSim(const ParityScenario& sc,
   param.random_seed = sc.seed;
   param.min_bound = 0.0;
   param.max_bound = sc.space;
+  param.cpu_fast_path = b.fast_path;
   auto sim = std::make_unique<Simulation>(param);
   sim->CreateRandomCells(sc.agents, sc.diameter);
   switch (b.kind) {
@@ -116,6 +121,8 @@ ParityReport RunParity(const ParityScenario& scenario) {
       // First entry is the reference everything else is compared against.
       {"ug_serial", Kind::kCpuGrid, ExecMode::kSerial, 0, true, 0.0},
       {"ug_parallel", Kind::kCpuGrid, ExecMode::kParallel, 0, true, 0.0},
+      {"cpu_fast", Kind::kCpuGrid, ExecMode::kSerial, 0, true, 0.0, true},
+      {"cpu_fast_mt", Kind::kCpuGrid, ExecMode::kParallel, 0, true, 0.0, true},
       {"kdtree", Kind::kCpuKdTree, ExecMode::kSerial, 0, false, kKdTreeTol},
       {"gpu_v0", Kind::kGpu, ExecMode::kSerial, 0, false, kGpuFp64Tol},
       {"gpu_v1", Kind::kGpu, ExecMode::kSerial, 1, false, kGpuFp32Tol},

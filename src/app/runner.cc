@@ -36,6 +36,8 @@ obs::json::Value ConfigJson(const RunConfig& cfg) {
   v.Set("max_displacement", cfg.max_displacement);
   v.Set("boundary", cfg.boundary);
   v.Set("threads", cfg.num_threads);
+  v.Set("cpu_fast_path", cfg.cpu_fast_path);
+  v.Set("zorder_every", cfg.zorder_every);
   v.Set("model_type", cfg.model_type);
   if (cfg.model_type == "cell_division") {
     v.Set("cells_per_dim", cfg.cells_per_dim);
@@ -66,6 +68,8 @@ std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
   Param param;
   param.random_seed = cfg.seed;
   param.num_threads = cfg.num_threads;
+  param.cpu_fast_path = cfg.cpu_fast_path;
+  param.zorder_cadence = static_cast<uint32_t>(cfg.zorder_every);
   param.simulation_time_step = cfg.timestep;
   param.simulation_max_displacement = cfg.max_displacement;
   param.min_bound = 0.0;

@@ -70,6 +70,23 @@ struct Param {
   /// Worker threads for CPU-parallel operations; 0 = hardware concurrency.
   uint32_t num_threads = 0;
 
+  /// Use the fused CSR force kernel when the environment is a uniform grid
+  /// (docs/perf.md): box-by-box Morton-ordered traversal over the flattened
+  /// box_starts/box_agents layout instead of the virtual per-query callback
+  /// path. Bitwise-identical displacements by construction (the parity
+  /// harness's cpu_fast backend enforces this); kd-tree and null
+  /// environments always take the generic path.
+  bool cpu_fast_path = true;
+
+  /// Re-sort agents into Z-order (spatial/zorder_sort.h) every N steps of
+  /// the CPU pipeline; 0 disables. The paper's Improvement II applied to
+  /// host cache locality: spatially adjacent agents become memory-adjacent,
+  /// so the fused kernel's position streams hit cache. Permutes SoA rows
+  /// (uid-stable); runs stay bitwise reproducible across thread counts, but
+  /// trajectories are only uid-comparable — not row- or hash-comparable —
+  /// with runs at a different cadence.
+  uint32_t zorder_cadence = 0;
+
   /// Throw std::invalid_argument on inconsistent settings. Called by the
   /// Simulation constructor so misconfiguration fails fast, before any
   /// agents exist.

@@ -1,9 +1,14 @@
 #include "physics/mechanical_forces_op.h"
 
+#include <algorithm>
 #include <atomic>
+#include <stdexcept>
+#include <string>
 
 #include "physics/displacement.h"
 #include "physics/interaction_force.h"
+#include "spatial/morton.h"
+#include "spatial/uniform_grid.h"
 
 namespace biosim {
 
@@ -11,6 +16,18 @@ void MechanicalForcesOp::ComputeDisplacements(const ResourceManager& rm,
                                               const Environment& env,
                                               const Param& param,
                                               ExecMode mode) {
+  if (param.cpu_fast_path) {
+    // One dynamic_cast per step, not per query: the fused path only exists
+    // for the uniform grid (it consumes the CSR layout); kd-tree and null
+    // environments fall through to the generic path below.
+    if (const auto* grid = dynamic_cast<const UniformGridEnvironment*>(&env)) {
+      used_fast_path_ = true;
+      ComputeDisplacementsFused(rm, *grid, param, mode);
+      return;
+    }
+  }
+  used_fast_path_ = false;
+
   size_t n = rm.size();
   displacements_.assign(n, Double3{});
 
@@ -49,6 +66,142 @@ void MechanicalForcesOp::ComputeDisplacements(const ResourceManager& rm,
 
       displacements_[i] =
           ComputeDisplacement(force, adherences[i], dt, max_disp);
+    }
+    evals.fetch_add(local_evals, std::memory_order_relaxed);
+  });
+
+  force_evaluations_ = evals.load(std::memory_order_relaxed);
+}
+
+void MechanicalForcesOp::ComputeDisplacementsFused(
+    const ResourceManager& rm, const UniformGridEnvironment& grid,
+    const Param& param, ExecMode mode) {
+  const size_t n = rm.size();
+  displacements_.assign(n, Double3{});
+  if (n == 0) {
+    force_evaluations_ = 0;
+    return;
+  }
+
+  const double radius = grid.interaction_radius();
+  if (radius > grid.box_length() + 1e-12) {
+    // Same contract the per-query traversal enforces: the 27-box scheme only
+    // covers one box length.
+    throw std::invalid_argument(
+        "MechanicalForcesOp: interaction radius " + std::to_string(radius) +
+        " exceeds the grid box length " + std::to_string(grid.box_length()));
+  }
+
+  const Double3* positions = rm.positions().data();
+  const double* diameters = rm.diameters().data();
+  const double* adherences = rm.adherences().data();
+  const Double3* tractor = rm.tractor_forces().data();
+  const int32_t* starts = grid.box_starts().data();
+  const int32_t* agents = grid.box_agents().data();
+
+  const ForceParams<double> fp{param.repulsion_coefficient,
+                               param.attraction_coefficient};
+  const ForceLaw law = force_law_;
+  const double dt = param.simulation_time_step;
+  const double max_disp = param.simulation_max_displacement;
+  const double r2 = radius * radius;
+  const bool torus = param.EffectiveBoundary() == BoundaryMode::kTorus;
+  const double edge = param.SpaceEdge();
+
+  // Traverse boxes along the Z-curve: consecutive boxes are spatially
+  // adjacent, so their 27-neighbor blocks overlap heavily and the position
+  // rows they stream stay hot in cache (the paper's Improvement II applied
+  // to the host). Only the traversal *order* changes — each agent's own
+  // neighbor sequence is fixed by NeighborBoxesOf + ascending CSR runs — so
+  // displacements are bitwise independent of this ordering choice.
+  const size_t total = grid.total_boxes();
+  morton_boxes_.clear();
+  morton_boxes_.reserve(std::min(total, n));
+  for (size_t b = 0; b < total; ++b) {
+    if (starts[b + 1] > starts[b]) {
+      const Int3 c = grid.BoxCoordinatesOfIndex(b);
+      morton_boxes_.emplace_back(
+          MortonEncode(static_cast<uint32_t>(c.x), static_cast<uint32_t>(c.y),
+                       static_cast<uint32_t>(c.z)),
+          static_cast<uint32_t>(b));
+    }
+  }
+  std::sort(morton_boxes_.begin(), morton_boxes_.end());
+
+  std::atomic<size_t> evals{0};
+
+  ParallelForChunks(mode, morton_boxes_.size(), [&](size_t begin, size_t end) {
+    size_t local_evals = 0;
+    size_t blocks[27];
+    // Per-box candidate block, gathered once and streamed by every resident
+    // agent: every agent in a box shares the identical candidate set, so the
+    // scattered positions[j] loads happen once per box instead of once per
+    // agent, and the per-agent loop runs over one flat contiguous array.
+    // Gathering copies bits, so the FP inputs are unchanged.
+    std::vector<int32_t> cand_idx;
+    std::vector<Double3> cand_pos;
+    std::vector<double> cand_diam;
+    for (size_t bi = begin; bi < end; ++bi) {
+      const size_t b = morton_boxes_[bi].second;
+      // Resolve the 3x3x3 block once per box and reuse it for every
+      // resident agent — the per-query box math and torus wrapping the
+      // callback path re-derives per agent.
+      const int block_count =
+          grid.NeighborBoxesOf(grid.BoxCoordinatesOfIndex(b), blocks);
+      size_t cand_n = 0;
+      for (int k = 0; k < block_count; ++k) {
+        cand_n += static_cast<size_t>(starts[blocks[k] + 1] -
+                                      starts[blocks[k]]);
+      }
+      cand_idx.resize(cand_n);
+      cand_pos.resize(cand_n);
+      cand_diam.resize(cand_n);
+      size_t w = 0;
+      for (int k = 0; k < block_count; ++k) {
+        const size_t nb = blocks[k];
+        const int32_t nb_end = starts[nb + 1];
+        for (int32_t u = starts[nb]; u < nb_end; ++u, ++w) {
+          const int32_t j = agents[u];
+          cand_idx[w] = j;
+          cand_pos[w] = positions[j];
+          cand_diam[w] = diameters[j];
+        }
+      }
+      const int32_t row_end = starts[b + 1];
+      for (int32_t t = starts[b]; t < row_end; ++t) {
+        const int32_t i = agents[t];
+        const Double3 pi = positions[i];
+        const double ri = diameters[i] / 2.0;
+        Double3 force = tractor[i];
+        if (torus) {
+          for (size_t u = 0; u < cand_n; ++u) {
+            if (cand_idx[u] == i) {
+              continue;
+            }
+            const Double3 miv = MinImageVector(pi, cand_pos[u], edge);
+            const double d2 = miv.SquaredNorm();
+            if (d2 <= r2) {
+              force += EvaluateForce(law, pi, ri, pi - miv,
+                                     cand_diam[u] / 2.0, fp);
+              ++local_evals;
+            }
+          }
+        } else {
+          for (size_t u = 0; u < cand_n; ++u) {
+            if (cand_idx[u] == i) {
+              continue;
+            }
+            const double d2 = SquaredDistance(pi, cand_pos[u]);
+            if (d2 <= r2) {
+              force += EvaluateForce(law, pi, ri, cand_pos[u],
+                                     cand_diam[u] / 2.0, fp);
+              ++local_evals;
+            }
+          }
+        }
+        displacements_[i] =
+            ComputeDisplacement(force, adherences[i], dt, max_disp);
+      }
     }
     evals.fetch_add(local_evals, std::memory_order_relaxed);
   });

@@ -6,9 +6,26 @@
 // second pass so the computation reads a consistent snapshot of positions —
 // the same two-phase structure the GPU offload uses (compute on device,
 // apply on host).
+//
+// Two compute paths produce bitwise-identical displacement buffers
+// (docs/perf.md):
+//
+//   * generic: per-agent virtual ForEachNeighborWithinRadius with a
+//     function_ref callback — works against any Environment;
+//   * fused (param.cpu_fast_path, uniform grid only): box-by-box traversal
+//     in Morton order over the grid's CSR layout. Each box resolves its
+//     27-neighbor block once and reuses it for every resident agent, and the
+//     inner loop streams contiguous box_agents runs with no indirect calls.
+//
+// Bitwise equality holds because both paths visit each agent's neighbors in
+// the identical canonical order (UniformGridEnvironment::NeighborBoxesOf
+// block order, ascending agent index within a box) and evaluate the same FP
+// expressions on them.
 #ifndef BIOSIM_PHYSICS_MECHANICAL_FORCES_OP_H_
 #define BIOSIM_PHYSICS_MECHANICAL_FORCES_OP_H_
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/param.h"
@@ -18,6 +35,8 @@
 #include "spatial/environment.h"
 
 namespace biosim {
+
+class UniformGridEnvironment;
 
 class MechanicalForcesOp {
  public:
@@ -41,13 +60,27 @@ class MechanicalForcesOp {
   std::vector<Double3>& mutable_displacements() { return displacements_; }
 
   /// Number of force evaluations in the last ComputeDisplacements call
-  /// (work-count diagnostics; also drives CPU-model calibration).
+  /// (work-count diagnostics; also drives CPU-model calibration). Identical
+  /// between the generic and fused paths — the CI perf-smoke job fails if
+  /// they ever diverge.
   size_t last_force_evaluations() const { return force_evaluations_; }
 
+  /// Whether the last ComputeDisplacements call took the fused CSR path.
+  bool last_used_fast_path() const { return used_fast_path_; }
+
  private:
+  /// The fused fast path: requires an up-to-date uniform grid.
+  void ComputeDisplacementsFused(const ResourceManager& rm,
+                                 const UniformGridEnvironment& grid,
+                                 const Param& param, ExecMode mode);
+
   ForceLaw force_law_;
   std::vector<Double3> displacements_;
   size_t force_evaluations_ = 0;
+  bool used_fast_path_ = false;
+  /// Scratch reused across steps by the fused path: non-empty boxes sorted
+  /// by the Morton code of their coordinates.
+  std::vector<std::pair<uint64_t, uint32_t>> morton_boxes_;
 };
 
 }  // namespace biosim

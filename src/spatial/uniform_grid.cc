@@ -35,10 +35,16 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
     // would otherwise explode the box count over the fallback bounds).
     grid_min_ = {0, 0, 0};
     box_length_ = fixed_box_length_ > 0.0 ? fixed_box_length_ : 1.0;
+    inv_box_length_ = 1.0 / box_length_;
     num_boxes_axis_ = {1, 1, 1};
+    torus_ = false;
+    off_lo_[0] = off_lo_[1] = off_lo_[2] = -1;
+    off_hi_[0] = off_hi_[1] = off_hi_[2] = 1;
     ResetAtomicVector(box_start_, 1, kEmpty, mode);
     ResetAtomicVector(box_count_, 1, 0, mode);
     successors_.clear();
+    box_starts_.assign(2, 0);
+    box_agents_.clear();
     return;
   }
 
@@ -67,6 +73,27 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
     num_boxes_axis_ = {axis_boxes(size.x), axis_boxes(size.y),
                        axis_boxes(size.z)};
   }
+
+  inv_box_length_ = 1.0 / box_length_;
+
+  // Hoist the per-axis offset ranges ({-1,0,1} normally, reduced when a
+  // periodic axis has fewer than 3 boxes so a wrapped offset cannot revisit
+  // the same box) out of the traversals: they are grid-shape constants.
+  auto axis_offsets = [&](int axis, int32_t nb) {
+    if (!torus_ || nb >= 3) {
+      off_lo_[axis] = -1;
+      off_hi_[axis] = 1;
+    } else if (nb == 2) {
+      off_lo_[axis] = -1;
+      off_hi_[axis] = 0;
+    } else {
+      off_lo_[axis] = 0;
+      off_hi_[axis] = 0;
+    }
+  };
+  axis_offsets(0, num_boxes_axis_.x);
+  axis_offsets(1, num_boxes_axis_.y);
+  axis_offsets(2, num_boxes_axis_.z);
 
   size_t total = static_cast<size_t>(num_boxes_axis_.x) *
                  static_cast<size_t>(num_boxes_axis_.y) *
@@ -126,16 +153,69 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
     }
     successors_[chain.back()] = kEmpty;
   });
+
+  // CSR flatten: exclusive scan of box occupancy, then each canonical chain
+  // written into its contiguous run. Chains are already ascending, so every
+  // run is ascending and the CSR traversal order equals the chain traversal
+  // order. The scan is a serial O(total) stream (deterministic and cheap:
+  // one add per box); the fill parallelizes over boxes, which own disjoint
+  // runs.
+  box_starts_.resize(total + 1);
+  int32_t running = 0;
+  for (size_t b = 0; b < total; ++b) {
+    box_starts_[b] = running;
+    running += box_count_[b].load(std::memory_order_relaxed);
+  }
+  box_starts_[total] = running;
+  box_agents_.resize(n);
+  ParallelFor(mode, total, [&](size_t b) {
+    int32_t w = box_starts_[b];
+    for (int32_t j = box_start_[b].load(std::memory_order_relaxed);
+         j != kEmpty; j = successors_[j]) {
+      box_agents_[w++] = j;
+    }
+  });
 }
 
 Int3 UniformGridEnvironment::BoxCoordinatesOf(const Double3& pos) const {
   auto coord = [&](double v, double lo, int32_t n) {
-    int32_t c = static_cast<int32_t>(std::floor((v - lo) / box_length_));
+    int32_t c = static_cast<int32_t>(std::floor((v - lo) * inv_box_length_));
     return std::clamp(c, 0, n - 1);
   };
   return {coord(pos.x, grid_min_.x, num_boxes_axis_.x),
           coord(pos.y, grid_min_.y, num_boxes_axis_.y),
           coord(pos.z, grid_min_.z, num_boxes_axis_.z)};
+}
+
+int UniformGridEnvironment::NeighborBoxesOf(const Int3& c,
+                                            size_t out[27]) const {
+  int count = 0;
+  for (int32_t dz = off_lo_[2]; dz <= off_hi_[2]; ++dz) {
+    int32_t z = c.z + dz;
+    if (torus_) {
+      z = (z + num_boxes_axis_.z) % num_boxes_axis_.z;
+    } else if (z < 0 || z >= num_boxes_axis_.z) {
+      continue;
+    }
+    for (int32_t dy = off_lo_[1]; dy <= off_hi_[1]; ++dy) {
+      int32_t y = c.y + dy;
+      if (torus_) {
+        y = (y + num_boxes_axis_.y) % num_boxes_axis_.y;
+      } else if (y < 0 || y >= num_boxes_axis_.y) {
+        continue;
+      }
+      for (int32_t dx = off_lo_[0]; dx <= off_hi_[0]; ++dx) {
+        int32_t x = c.x + dx;
+        if (torus_) {
+          x = (x + num_boxes_axis_.x) % num_boxes_axis_.x;
+        } else if (x < 0 || x >= num_boxes_axis_.x) {
+          continue;
+        }
+        out[count++] = FlatBoxIndex({x, y, z});
+      }
+    }
+  }
+  return count;
 }
 
 size_t UniformGridEnvironment::BoxIndexOf(const Double3& pos) const {
@@ -158,55 +238,55 @@ void UniformGridEnvironment::ForEachNeighborWithinRadius(
   const auto& pos = rm.positions();
   const Double3 q = pos[query];
   const double r2 = radius * radius;
-  const Int3 c = BoxCoordinatesOf(q);
-
-  // Offset range per axis: {-1,0,1} normally, reduced when a periodic axis
-  // has fewer than 3 boxes (a wrapped offset would revisit the same box).
-  auto axis_offsets = [&](int32_t nb) {
-    if (!torus_ || nb >= 3) {
-      return std::pair<int32_t, int32_t>{-1, 1};
-    }
-    return nb == 2 ? std::pair<int32_t, int32_t>{-1, 0}
-                   : std::pair<int32_t, int32_t>{0, 0};
-  };
-  auto [z_lo, z_hi] = axis_offsets(num_boxes_axis_.z);
-  auto [y_lo, y_hi] = axis_offsets(num_boxes_axis_.y);
-  auto [x_lo, x_hi] = axis_offsets(num_boxes_axis_.x);
 
   // The 3x3x3 block around the query's box (Fig. 4): clamped at the domain
-  // faces normally, wrapped around them on a torus.
-  for (int32_t dz = z_lo; dz <= z_hi; ++dz) {
-    int32_t z = c.z + dz;
-    if (torus_) {
-      z = (z + num_boxes_axis_.z) % num_boxes_axis_.z;
-    } else if (z < 0 || z >= num_boxes_axis_.z) {
-      continue;
-    }
-    for (int32_t dy = y_lo; dy <= y_hi; ++dy) {
-      int32_t y = c.y + dy;
-      if (torus_) {
-        y = (y + num_boxes_axis_.y) % num_boxes_axis_.y;
-      } else if (y < 0 || y >= num_boxes_axis_.y) {
+  // faces normally, wrapped around them on a torus. The per-axis offset
+  // bounds and the wrap arithmetic are resolved once per query here (and
+  // once per *box* in the fused kernel), not per neighbor.
+  size_t blocks[27];
+  const int block_count = NeighborBoxesOf(BoxCoordinatesOf(q), blocks);
+  for (int k = 0; k < block_count; ++k) {
+    const size_t b = blocks[k];
+    for (int32_t j = box_start(b); j != kEmpty; j = successors_[j]) {
+      if (static_cast<AgentIndex>(j) == query) {
         continue;
       }
-      for (int32_t dx = x_lo; dx <= x_hi; ++dx) {
-        int32_t x = c.x + dx;
-        if (torus_) {
-          x = (x + num_boxes_axis_.x) % num_boxes_axis_.x;
-        } else if (x < 0 || x >= num_boxes_axis_.x) {
-          continue;
-        }
-        size_t b = FlatBoxIndex({x, y, z});
-        for (int32_t j = box_start(b); j != kEmpty; j = successors_[j]) {
-          if (static_cast<AgentIndex>(j) == query) {
-            continue;
-          }
-          double d2 = torus_ ? MinImageVector(q, pos[j], edge_).SquaredNorm()
-                             : SquaredDistance(q, pos[j]);
-          if (d2 <= r2) {
-            fn(static_cast<AgentIndex>(j), d2);
-          }
-        }
+      double d2 = torus_ ? MinImageVector(q, pos[j], edge_).SquaredNorm()
+                         : SquaredDistance(q, pos[j]);
+      if (d2 <= r2) {
+        fn(static_cast<AgentIndex>(j), d2);
+      }
+    }
+  }
+}
+
+void UniformGridEnvironment::ForEachNeighborWithinRadiusCsr(
+    AgentIndex query, const ResourceManager& rm, double radius,
+    NeighborFn fn) const {
+  if (radius > box_length_ + 1e-12) {
+    throw std::invalid_argument(
+        "UniformGridEnvironment: query radius " + std::to_string(radius) +
+        " exceeds the box length " + std::to_string(box_length_) +
+        "; the uniform grid only covers the 27 surrounding boxes");
+  }
+  const auto& pos = rm.positions();
+  const Double3 q = pos[query];
+  const double r2 = radius * radius;
+
+  size_t blocks[27];
+  const int block_count = NeighborBoxesOf(BoxCoordinatesOf(q), blocks);
+  for (int k = 0; k < block_count; ++k) {
+    const size_t b = blocks[k];
+    const int32_t end = box_starts_[b + 1];
+    for (int32_t t = box_starts_[b]; t < end; ++t) {
+      const int32_t j = box_agents_[t];
+      if (static_cast<AgentIndex>(j) == query) {
+        continue;
+      }
+      double d2 = torus_ ? MinImageVector(q, pos[j], edge_).SquaredNorm()
+                         : SquaredDistance(q, pos[j]);
+      if (d2 <= r2) {
+        fn(static_cast<AgentIndex>(j), d2);
       }
     }
   }

@@ -19,6 +19,13 @@
 // serial/parallel build mode. Downstream order-sensitive reductions (force
 // accumulation in MechanicalForcesOp) are therefore bitwise reproducible
 // across runs and thread counts.
+//
+// After canonicalization the chains are additionally flattened into a CSR
+// layout (box_starts_ / box_agents_): box b's agents are the contiguous,
+// ascending run box_agents_[box_starts_[b] .. box_starts_[b+1]). The fused
+// CPU force kernel (docs/perf.md) streams these runs instead of chasing the
+// linked chains; because the flattening preserves the canonical order, both
+// traversals visit the identical (neighbor, d²) sequence.
 #ifndef BIOSIM_SPATIAL_UNIFORM_GRID_H_
 #define BIOSIM_SPATIAL_UNIFORM_GRID_H_
 
@@ -67,9 +74,43 @@ class UniformGridEnvironment : public Environment {
   }
   const std::vector<int32_t>& successors() const { return successors_; }
 
+  // --- CSR view of the canonicalized chains ------------------------------
+  /// Exclusive prefix sum of box occupancy; size total_boxes() + 1.
+  const std::vector<int32_t>& box_starts() const { return box_starts_; }
+  /// Agent indices grouped by box, ascending within each box; size == number
+  /// of agents. Box b owns [box_starts()[b], box_starts()[b + 1]).
+  const std::vector<int32_t>& box_agents() const { return box_agents_; }
+
+  /// Flat indices of the boxes covering the 3x3x3 block around box `c`, in
+  /// the canonical (dz, dy, dx) enumeration order ForEachNeighborWithinRadius
+  /// traverses them in: clamped at the domain faces, wrapped on a torus, and
+  /// reduced on periodic axes with fewer than 3 boxes. `out` must hold 27
+  /// entries; returns the number filled. Both neighbor traversals and the
+  /// fused force kernel derive their box order from this single function, so
+  /// their FP accumulation order is identical by construction.
+  int NeighborBoxesOf(const Int3& c, size_t out[27]) const;
+
+  /// CSR-based twin of ForEachNeighborWithinRadius: visits exactly the same
+  /// (neighbor, d²) sequence, but by streaming box_agents_ runs instead of
+  /// chasing the linked chains. Tests compare the two; the fused force
+  /// kernel inlines this traversal.
+  void ForEachNeighborWithinRadiusCsr(AgentIndex query,
+                                      const ResourceManager& rm, double radius,
+                                      NeighborFn fn) const;
+
   /// Flat box index of a position (clamped into the grid).
   size_t BoxIndexOf(const Double3& pos) const;
   Int3 BoxCoordinatesOf(const Double3& pos) const;
+  /// Inverse of FlatBoxIndex.
+  Int3 BoxCoordinatesOfIndex(size_t b) const {
+    int32_t x = static_cast<int32_t>(b % static_cast<size_t>(num_boxes_axis_.x));
+    size_t rest = b / static_cast<size_t>(num_boxes_axis_.x);
+    int32_t y =
+        static_cast<int32_t>(rest % static_cast<size_t>(num_boxes_axis_.y));
+    int32_t z =
+        static_cast<int32_t>(rest / static_cast<size_t>(num_boxes_axis_.y));
+    return {x, y, z};
+  }
   size_t FlatBoxIndex(const Int3& c) const {
     return (static_cast<size_t>(c.z) * static_cast<size_t>(num_boxes_axis_.y) +
             static_cast<size_t>(c.y)) *
@@ -94,18 +135,30 @@ class UniformGridEnvironment : public Environment {
   double fixed_box_length_ = 0.0;
   double interaction_radius_ = 0.0;
   double box_length_ = 1.0;
+  // 1 / box_length_, precomputed once per Update so every BoxCoordinatesOf
+  // (one per query in the legacy path, one per insert in the build) costs a
+  // multiply instead of a divide.
+  double inv_box_length_ = 1.0;
   Double3 grid_min_;
   Int3 num_boxes_axis_{1, 1, 1};
   // Torus mode (periodic space): neighbor iteration wraps across faces and
   // distances are minimum-image.
   bool torus_ = false;
   double edge_ = 0.0;
+  // Per-axis neighbor-offset bounds ({-1,1} normally; reduced on periodic
+  // axes with < 3 boxes), hoisted out of the per-query traversal into
+  // Update: they depend only on the grid shape. Indexed x=0, y=1, z=2.
+  int32_t off_lo_[3] = {-1, -1, -1};
+  int32_t off_hi_[3] = {1, 1, 1};
 
   // Box::start and Box::length of Fig. 5, stored as parallel arrays (SoA, as
   // everywhere else) so they copy to the device as two flat buffers.
   std::vector<std::atomic<int32_t>> box_start_;
   std::vector<std::atomic<int32_t>> box_count_;
   std::vector<int32_t> successors_;
+  // CSR flattening of the canonical chains (built by Update; see box_starts()).
+  std::vector<int32_t> box_starts_;
+  std::vector<int32_t> box_agents_;
 };
 
 }  // namespace biosim

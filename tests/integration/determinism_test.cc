@@ -30,12 +30,17 @@ namespace biosim {
 namespace {
 
 /// Hash after construction and after each of `steps` steps, for one run of
-/// the full-pipeline scenario at the given worker count.
+/// the full-pipeline scenario at the given worker count. `zorder_cadence`
+/// and `cpu_fast_path` plumb through the fused-kernel knobs (docs/perf.md).
 std::vector<uint64_t> HashTrajectory(uint32_t num_threads, uint64_t steps,
-                                     uint64_t seed = 42) {
+                                     uint64_t seed = 42,
+                                     uint32_t zorder_cadence = 0,
+                                     bool cpu_fast_path = true) {
   Param p;
   p.random_seed = seed;
   p.num_threads = num_threads;
+  p.zorder_cadence = zorder_cadence;
+  p.cpu_fast_path = cpu_fast_path;
   p.max_bound = 120.0;
   Simulation sim(p);
   // Benchmark-A lattice: diameter 8 with threshold 16 so cells roughly
@@ -65,6 +70,24 @@ TEST(DeterminismTest, SameSeedThreadSweepIsBitwiseIdentical) {
   auto reference = HashTrajectory(1, 10);
   EXPECT_EQ(HashTrajectory(2, 10), reference);
   EXPECT_EQ(HashTrajectory(8, 10), reference);
+}
+
+TEST(DeterminismTest, FastPathWithZOrderSortThreadSweepIsBitwiseIdentical) {
+  // The fused CSR kernel plus periodic Z-order row permutation — the full
+  // perf configuration (docs/perf.md) — owes the same thread-count
+  // invariance as the baseline pipeline: the permutation is a pure function
+  // of positions and the fused traversal fixes each agent's FP order.
+  auto reference = HashTrajectory(1, 10, 42, /*zorder_cadence=*/2);
+  EXPECT_EQ(HashTrajectory(2, 10, 42, 2), reference);
+  EXPECT_EQ(HashTrajectory(8, 10, 42, 2), reference);
+}
+
+TEST(DeterminismTest, FusedPathMatchesCallbackPathBitwise) {
+  // Cross-path equality over the full pipeline, divisions included: turning
+  // the fast path off must not change a single state hash (the parity
+  // harness proves the same on the benchmark-B scenario).
+  EXPECT_EQ(HashTrajectory(8, 10, 42, 0, /*cpu_fast_path=*/true),
+            HashTrajectory(8, 10, 42, 0, /*cpu_fast_path=*/false));
 }
 
 TEST(DeterminismTest, RunToRunRepeatIsBitwiseIdentical) {

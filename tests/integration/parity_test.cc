@@ -15,7 +15,7 @@ namespace {
 class ParityHarnessTest : public ::testing::Test {
  protected:
   // One run shared by all assertions: the harness is the expensive part
-  // (seven backends, five steps each).
+  // (nine backends, five steps each).
   static void SetUpTestSuite() { report_ = new ParityReport(RunParity({})); }
   static void TearDownTestSuite() {
     delete report_;
@@ -43,7 +43,8 @@ TEST_F(ParityHarnessTest, CoversEveryBackend) {
   for (const ParityResult& r : report_->results) {
     names.insert(r.backend);
   }
-  EXPECT_EQ(names, (std::set<std::string>{"ug_serial", "ug_parallel", "kdtree",
+  EXPECT_EQ(names, (std::set<std::string>{"ug_serial", "ug_parallel",
+                                          "cpu_fast", "cpu_fast_mt", "kdtree",
                                           "gpu_v0", "gpu_v1", "gpu_v2",
                                           "gpu_v3"}));
 }
@@ -63,6 +64,19 @@ TEST_F(ParityHarnessTest, UniformGridParallelIsBitwise) {
   EXPECT_TRUE(r.hashes_equal) << report_->ToString();
   EXPECT_EQ(r.max_abs_delta, 0.0);
   EXPECT_EQ(r.final_hash, Result("ug_serial").final_hash);
+}
+
+TEST_F(ParityHarnessTest, CpuFastPathIsBitwise) {
+  // The fused CSR kernel claim (docs/perf.md): same neighbor visit order,
+  // same FP expressions — so it owes hash-for-hash identity against the
+  // legacy callback reference, serial and parallel alike.
+  for (const char* name : {"cpu_fast", "cpu_fast_mt"}) {
+    const ParityResult& r = Result(name);
+    EXPECT_TRUE(r.bitwise_required) << name;
+    EXPECT_TRUE(r.hashes_equal) << name << "\n" << report_->ToString();
+    EXPECT_EQ(r.max_abs_delta, 0.0) << name;
+    EXPECT_EQ(r.final_hash, Result("ug_serial").final_hash) << name;
+  }
 }
 
 TEST_F(ParityHarnessTest, Fp64BackendsFarTighterThanFp32Bound) {

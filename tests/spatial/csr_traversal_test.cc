@@ -1,0 +1,202 @@
+// CSR traversal property tests (docs/perf.md): the CSR flattening of the
+// canonical box chains must be structurally exact, and the CSR-based
+// neighbor traversal must visit *exactly* the same (neighbor, d²) sequence
+// as the linked-chain traversal — same order, same indices, equal distances
+// — on random, clustered, torus-wrapped, and degenerate (1–2 boxes per
+// axis) inputs. This is the contract the fused force kernel's bitwise
+// equality rests on.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "../test_util.h"
+#include "core/param.h"
+#include "core/random.h"
+#include "core/resource_manager.h"
+#include "spatial/uniform_grid.h"
+
+namespace biosim {
+namespace {
+
+using Visit = std::pair<AgentIndex, double>;
+
+std::vector<Visit> CollectChain(const UniformGridEnvironment& env,
+                                const ResourceManager& rm, AgentIndex q,
+                                double radius) {
+  std::vector<Visit> out;
+  env.ForEachNeighborWithinRadius(
+      q, rm, radius, [&](AgentIndex j, double d2) { out.emplace_back(j, d2); });
+  return out;
+}
+
+std::vector<Visit> CollectCsr(const UniformGridEnvironment& env,
+                              const ResourceManager& rm, AgentIndex q,
+                              double radius) {
+  std::vector<Visit> out;
+  env.ForEachNeighborWithinRadiusCsr(
+      q, rm, radius, [&](AgentIndex j, double d2) { out.emplace_back(j, d2); });
+  return out;
+}
+
+/// The property: for every agent, the two traversals produce the identical
+/// visit sequence (order, indices, and d² values all equal).
+void ExpectIdenticalSequences(const UniformGridEnvironment& env,
+                              const ResourceManager& rm) {
+  const double radius = env.interaction_radius();
+  for (AgentIndex q = 0; q < rm.size(); ++q) {
+    std::vector<Visit> chain = CollectChain(env, rm, q, radius);
+    std::vector<Visit> csr = CollectCsr(env, rm, q, radius);
+    ASSERT_EQ(chain.size(), csr.size()) << "agent " << q;
+    for (size_t k = 0; k < chain.size(); ++k) {
+      EXPECT_EQ(chain[k].first, csr[k].first) << "agent " << q << " visit " << k;
+      EXPECT_EQ(chain[k].second, csr[k].second)
+          << "agent " << q << " visit " << k;
+    }
+  }
+}
+
+/// CSR structural invariants: a valid exclusive prefix sum over box
+/// occupancy, rows ascending, and row contents identical to the chains.
+void ExpectValidCsr(const UniformGridEnvironment& env, size_t n) {
+  const auto& starts = env.box_starts();
+  const auto& agents = env.box_agents();
+  ASSERT_EQ(starts.size(), env.total_boxes() + 1);
+  ASSERT_EQ(agents.size(), n);
+  EXPECT_EQ(starts.front(), 0);
+  EXPECT_EQ(static_cast<size_t>(starts.back()), n);
+  std::vector<bool> seen(n, false);
+  for (size_t b = 0; b < env.total_boxes(); ++b) {
+    ASSERT_LE(starts[b], starts[b + 1]);
+    EXPECT_EQ(starts[b + 1] - starts[b], env.box_count(b)) << "box " << b;
+    int32_t chain = env.box_start(b);
+    for (int32_t t = starts[b]; t < starts[b + 1]; ++t) {
+      if (t > starts[b]) {
+        EXPECT_LT(agents[t - 1], agents[t]) << "box " << b;  // ascending
+      }
+      ASSERT_EQ(agents[t], chain) << "box " << b;  // same content as chain
+      ASSERT_FALSE(seen[static_cast<size_t>(agents[t])]);
+      seen[static_cast<size_t>(agents[t])] = true;
+      chain = env.successors()[static_cast<size_t>(chain)];
+    }
+    EXPECT_EQ(chain, UniformGridEnvironment::kEmpty) << "box " << b;
+  }
+  // Every agent appears exactly once: a permutation of 0..n-1.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(seen[i]) << "agent " << i << " missing from box_agents";
+  }
+}
+
+Param ClampParam(double hi) {
+  Param p;
+  p.min_bound = 0.0;
+  p.max_bound = hi;
+  return p;
+}
+
+Param TorusParam(double edge) {
+  Param p = ClampParam(edge);
+  p.boundary_mode = BoundaryMode::kTorus;
+  return p;
+}
+
+TEST(CsrTraversalTest, RandomUniformMatchesChain) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 400, 0.0, 100.0, 10.0, /*seed=*/7);
+  UniformGridEnvironment env;
+  env.Update(rm, ClampParam(100.0), ExecMode::kSerial);
+  ExpectValidCsr(env, rm.size());
+  ExpectIdenticalSequences(env, rm);
+}
+
+TEST(CsrTraversalTest, ClusteredBallMatchesChain) {
+  // Dense ball in a mostly empty domain: occupancy ranges from packed core
+  // boxes to empty corners, so CSR rows of very different lengths meet the
+  // clamped boundary blocks.
+  ResourceManager rm;
+  Random rng(21);
+  const size_t n = 300;
+  rm.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    NewAgentSpec s;
+    s.position = Double3{60.0, 60.0, 60.0} + rng.UnitVector() * (25.0 * rng.Uniform());
+    s.diameter = 10.0;
+    rm.AddAgent(std::move(s));
+  }
+  UniformGridEnvironment env;
+  env.Update(rm, ClampParam(200.0), ExecMode::kSerial);
+  ExpectValidCsr(env, rm.size());
+  ExpectIdenticalSequences(env, rm);
+}
+
+TEST(CsrTraversalTest, TorusWrapMatchesChain) {
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 250, 0.0, 100.0, 12.0, /*seed=*/13);
+  UniformGridEnvironment env;
+  env.Update(rm, TorusParam(100.0), ExecMode::kSerial);
+  ASSERT_TRUE(env.is_torus());
+  ExpectValidCsr(env, rm.size());
+  ExpectIdenticalSequences(env, rm);
+}
+
+TEST(CsrTraversalTest, DegenerateTwoBoxTorusAxesMatchChain) {
+  // 100/40 -> 2 boxes per axis: the periodic offset range collapses to
+  // {-1, 0} so boxes are not visited twice. The traversals must agree on
+  // that reduction.
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 120, 0.0, 100.0, 40.0, /*seed=*/3);
+  UniformGridEnvironment env;
+  env.Update(rm, TorusParam(100.0), ExecMode::kSerial);
+  ASSERT_EQ(env.num_boxes_axis().x, 2);
+  ExpectValidCsr(env, rm.size());
+  ExpectIdenticalSequences(env, rm);
+}
+
+TEST(CsrTraversalTest, DegenerateSingleBoxTorusAxesMatchChain) {
+  // 100/60 -> 1 box per axis: the only box is its own neighborhood exactly
+  // once (offset range {0}).
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 60, 0.0, 100.0, 60.0, /*seed=*/5);
+  UniformGridEnvironment env;
+  env.Update(rm, TorusParam(100.0), ExecMode::kSerial);
+  ASSERT_EQ(env.num_boxes_axis().x, 1);
+  ExpectValidCsr(env, rm.size());
+  ExpectIdenticalSequences(env, rm);
+}
+
+TEST(CsrTraversalTest, SmallClampedDomainMatchesChain) {
+  // Non-periodic degenerate shape: 1-2 boxes per axis with clamped faces.
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 80, 0.0, 50.0, 30.0, /*seed=*/11);
+  UniformGridEnvironment env;
+  env.Update(rm, ClampParam(50.0), ExecMode::kSerial);
+  ASSERT_LE(env.num_boxes_axis().x, 2);
+  ExpectValidCsr(env, rm.size());
+  ExpectIdenticalSequences(env, rm);
+}
+
+TEST(CsrTraversalTest, ParallelBuildProducesIdenticalCsr) {
+  // The CSR arrays are part of the determinism contract: serial and
+  // parallel builds must flatten to byte-identical layouts.
+  ResourceManager rm;
+  testutil::FillRandomCells(&rm, 500, 0.0, 100.0, 10.0, /*seed=*/17);
+  UniformGridEnvironment serial_env;
+  serial_env.Update(rm, ClampParam(100.0), ExecMode::kSerial);
+  UniformGridEnvironment parallel_env;
+  parallel_env.Update(rm, ClampParam(100.0), ExecMode::kParallel);
+  EXPECT_EQ(serial_env.box_starts(), parallel_env.box_starts());
+  EXPECT_EQ(serial_env.box_agents(), parallel_env.box_agents());
+}
+
+TEST(CsrTraversalTest, EmptyPopulationHasEmptyCsr) {
+  ResourceManager rm;
+  UniformGridEnvironment env;
+  env.Update(rm, ClampParam(100.0), ExecMode::kSerial);
+  EXPECT_EQ(env.box_agents().size(), 0u);
+  ASSERT_GE(env.box_starts().size(), 2u);
+  EXPECT_EQ(env.box_starts().front(), 0);
+  EXPECT_EQ(env.box_starts().back(), 0);
+}
+
+}  // namespace
+}  // namespace biosim

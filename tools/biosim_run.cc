@@ -1,7 +1,8 @@
 // biosim_run: config-driven simulation runner.
 //
 //   biosim_run [config.ini] [--steps N] [--backend cpu|gpu] [--threads N]
-//              [--print-config] [--sanitize] [--trace FILE] [--metrics FILE]
+//              [--cpu-fast-path BOOL] [--zorder-every N] [--print-config]
+//              [--sanitize] [--trace FILE] [--metrics FILE]
 //              [--metrics-every N] [--report FILE] [--json]
 //              [--verify-determinism]
 //
@@ -74,7 +75,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s [config.ini] [--steps N] [--backend cpu|gpu] "
-                 "[--threads N] [--print-config] [--sanitize] [--trace FILE] "
+                 "[--threads N] [--cpu-fast-path BOOL] [--zorder-every N] "
+                 "[--print-config] [--sanitize] [--trace FILE] "
                  "[--metrics FILE] [--metrics-every N] [--report FILE] "
                  "[--json] [--verify-determinism]\n",
                  argv[0]);
@@ -104,6 +106,10 @@ int main(int argc, char** argv) {
         cfg.backend_type = value;
       } else if (FlagValue(argc, argv, &i, "--threads", &value)) {
         cfg.num_threads = static_cast<uint32_t>(std::atoll(value.c_str()));
+      } else if (FlagValue(argc, argv, &i, "--cpu-fast-path", &value)) {
+        cfg.cpu_fast_path = value == "1" || value == "true" || value == "on";
+      } else if (FlagValue(argc, argv, &i, "--zorder-every", &value)) {
+        cfg.zorder_every = static_cast<uint64_t>(std::atoll(value.c_str()));
       } else if (FlagValue(argc, argv, &i, "--trace", &value)) {
         cfg.trace_path = value;
       } else if (FlagValue(argc, argv, &i, "--metrics-every", &value)) {
