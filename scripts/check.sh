@@ -1,26 +1,60 @@
 #!/usr/bin/env bash
-# Tier-1 build + test suite under the host sanitizers (ASan + UBSan).
+# Tier-1 build + test suite under the host sanitizers.
 #
-#   scripts/check.sh [extra ctest args...]
+#   scripts/check.sh [extra ctest args...]            # ASan + UBSan (default)
+#   BIOSIM_SANITIZE=thread scripts/check.sh [...]     # TSan race detection
 #
-# Uses a dedicated build directory (build-asan) so the regular build/ stays
-# untouched. Any ASan/UBSan finding fails the run. The simulated-GPU hazard
-# checks are separate (gpusim/sanitizer.h; see docs/sanitizer.md) and run as
-# part of the normal test suite.
+# Each mode uses its own build directory (build-asan / build-tsan) so the
+# regular build/ stays untouched. Any sanitizer finding fails the run. The
+# simulated-GPU hazard checks are separate (gpusim/sanitizer.h; see
+# docs/sanitizer.md) and run as part of the normal test suite.
+#
+# TSan notes (docs/static-analysis.md has the full matrix):
+#  - With a clang toolchain + libomp, the Archer OpenMP race detector is
+#    active inside parallel regions; ARCHER_OPTIONS tunes it.
+#  - With gcc + libgomp the OpenMP runtime itself is uninstrumented, so the
+#    curated suppression file scripts/tsan.supp silences the runtime's
+#    internal synchronization while leaving user-code races fatal.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-asan
+MODE="${BIOSIM_SANITIZE:-address;undefined}"
 
-cmake -B "$BUILD_DIR" -S . -G Ninja \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DBIOSIM_SANITIZE="address;undefined"
-cmake --build "$BUILD_DIR" -j
+case "$MODE" in
+  thread)
+    BUILD_DIR=build-tsan
+    cmake -B "$BUILD_DIR" -S . -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DBIOSIM_SANITIZE="thread"
+    cmake --build "$BUILD_DIR" -j
 
-# Container-friendly ASan defaults: leak detection needs ptrace, which many
-# CI sandboxes forbid; UBSan findings abort so they cannot scroll past.
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0:abort_on_error=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+    supp="$(pwd)/scripts/tsan.supp"
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-suppressions=$supp:halt_on_error=0:exitcode=66:second_deadlock_stack=1}"
+    # Archer ships with LLVM's libomp; when its runtime library is present
+    # the OpenMP-aware analysis takes over and the libgomp suppressions are
+    # unnecessary (they stay harmless).
+    if ldconfig -p 2>/dev/null | grep -q libarcher; then
+      export ARCHER_OPTIONS="${ARCHER_OPTIONS:-verbose=0}"
+      echo "check.sh: Archer OpenMP race detector available"
+    fi
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
-echo "check.sh: build+ctest clean under ASan/UBSan"
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+    echo "check.sh: build+ctest clean under TSan"
+    ;;
+  *)
+    BUILD_DIR=build-asan
+    cmake -B "$BUILD_DIR" -S . -G Ninja \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DBIOSIM_SANITIZE="$MODE"
+    cmake --build "$BUILD_DIR" -j
+
+    # Container-friendly ASan defaults: leak detection needs ptrace, which
+    # many CI sandboxes forbid; UBSan findings abort so they cannot scroll
+    # past.
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=0:abort_on_error=1}"
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+    echo "check.sh: build+ctest clean under $MODE"
+    ;;
+esac

@@ -1,13 +1,28 @@
 #!/usr/bin/env bash
 # clang-tidy over the first-party sources using the repo .clang-tidy profile.
 #
-#   scripts/lint.sh [paths...]       # default: src/gpusim src/gpu
+#   scripts/lint.sh [--fix] [paths...]   # default: src tools bench
+#
+# --fix is passed through to clang-tidy (applies the suggested rewrites
+# in place); review the diff before committing.
 #
 # Needs a compile_commands.json (generated into build/ by the tier-1
-# configure) and clang-tidy on PATH; exits 0 with a notice when the tool is
-# unavailable so CI images without LLVM don't fail spuriously.
+# configure, and symlinked into the source root for editors) and clang-tidy
+# on PATH; exits 0 with a notice when the tool is unavailable so CI images
+# without LLVM don't fail spuriously. The project-specific determinism rules
+# live in the standalone biosim-lint checker (tools/biosim_lint/), which CI
+# runs alongside this script — see docs/static-analysis.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+tidy_args=()
+paths=()
+for arg in "$@"; do
+  case "$arg" in
+    --fix) tidy_args+=(-fix) ;;
+    *) paths+=("$arg") ;;
+  esac
+done
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "lint.sh: clang-tidy not found on PATH; skipping (install LLVM to run)"
@@ -18,16 +33,15 @@ if [[ ! -f build/compile_commands.json ]]; then
   cmake -B build -S . -G Ninja -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
-paths=("$@")
 if [[ ${#paths[@]} -eq 0 ]]; then
-  paths=(src/gpusim src/gpu)
+  paths=(src tools bench)
 fi
 
 files=()
 while IFS= read -r f; do
   files+=("$f")
-done < <(find "${paths[@]}" -name '*.cc' | sort)
+done < <(find "${paths[@]}" -name '*.cc' -not -path '*/fixtures/*' | sort)
 
 echo "lint.sh: checking ${#files[@]} translation units in: ${paths[*]}"
-clang-tidy -p build --quiet "${files[@]}"
+clang-tidy -p build --quiet "${tidy_args[@]}" "${files[@]}"
 echo "lint.sh: clean"

@@ -92,6 +92,8 @@ class OpProfile {
 
  private:
   std::deque<Entry> entries_;  // deque: stable Entry/Histogram addresses
+  // Lookup index only — reports iterate entries_ (first-seen order), never
+  // this map, so hash order cannot leak into any artifact.
   std::unordered_map<std::string, size_t> index_;
 };
 

@@ -34,12 +34,12 @@ AgentIndex ResourceManager::AddAgent(NewAgentSpec spec) {
 }
 
 void ResourceManager::PushDeferredAgent(AgentIndex mother, NewAgentSpec spec) {
-  std::lock_guard<std::mutex> lock(*deferred_mutex_);
+  MutexLock lock(*deferred_mutex_);
   deferred_new_.emplace_back(mother, std::move(spec));
 }
 
 void ResourceManager::PushDeferredRemoval(AgentIndex idx) {
-  std::lock_guard<std::mutex> lock(*deferred_mutex_);
+  MutexLock lock(*deferred_mutex_);
   deferred_removals_.push_back(idx);
 }
 
@@ -66,7 +66,11 @@ void ResourceManager::RemoveRowSwap(AgentIndex idx) {
 }
 
 size_t ResourceManager::CommitStructuralChanges() {
-  // No lock needed: commit runs single-threaded between operations.
+  // Commit runs single-threaded between operations, so the lock is never
+  // contended; holding it anyway keeps the guarded-by contract on the
+  // deferred queues unconditional (and checkable by clang -Wthread-safety
+  // and TSan) instead of relying on the scheduling convention.
+  MutexLock lock(*deferred_mutex_);
   size_t changes = deferred_new_.size() + deferred_removals_.size();
 
   // Removals first, from highest row to lowest so swap-with-last never moves
@@ -158,6 +162,7 @@ void ResourceManager::RestorePopulation(
   behaviors_.clear();
   behaviors_.resize(n);
   next_uid_ = next_uid;
+  MutexLock lock(*deferred_mutex_);
   deferred_new_.clear();
   deferred_removals_.clear();
 }

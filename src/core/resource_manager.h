@@ -15,10 +15,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/agent_uid.h"
+#include "core/analysis.h"
 #include "core/behavior.h"
 #include "core/math.h"
 
@@ -133,10 +133,15 @@ class ResourceManager {
 
   AgentUid next_uid_ = 0;
 
-  // unique_ptr so the manager (and Simulation) stays movable.
-  std::unique_ptr<std::mutex> deferred_mutex_ = std::make_unique<std::mutex>();
-  std::vector<std::pair<AgentIndex, NewAgentSpec>> deferred_new_;
-  std::vector<AgentIndex> deferred_removals_;
+  // The deferred queues are the only state behaviors mutate concurrently
+  // (PushDeferredAgent/PushDeferredRemoval from parallel chunks); everything
+  // else is stable while an operation runs. unique_ptr so the manager (and
+  // Simulation) stays movable; clang -Wthread-safety tracks the capability
+  // through the smart pointer.
+  std::unique_ptr<Mutex> deferred_mutex_ = std::make_unique<Mutex>();
+  std::vector<std::pair<AgentIndex, NewAgentSpec>> deferred_new_
+      BIOSIM_GUARDED_BY(deferred_mutex_);
+  std::vector<AgentIndex> deferred_removals_ BIOSIM_GUARDED_BY(deferred_mutex_);
 };
 
 }  // namespace biosim

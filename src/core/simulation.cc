@@ -1,9 +1,9 @@
 #include "core/simulation.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
+#include "core/analysis.h"
 #include "core/behaviors/grow_divide.h"
 #include "core/cell.h"
 #include "core/sim_context.h"
@@ -25,7 +25,9 @@ void SimContext::DepositSubstance(const Double3& pos, double amount) {
     deposit_sink->push_back({pos, amount});
     return;
   }
-  diffusion_grid->IncreaseConcentrationBy(pos, amount);
+  // Direct-apply fallback for serial use without an installed sink; this is
+  // one of the two sanctioned call sites of the raw field write.
+  diffusion_grid->IncreaseConcentrationBy(pos, amount);  // biosim-lint: allow(direct-deposit)
 }
 
 Simulation::Simulation(Param param)
@@ -112,7 +114,7 @@ void Simulation::RunBehaviors() {
   // sequence is the global agent-index order no matter how many workers ran
   // — the concentration field receives the same FP additions in the same
   // order at any thread count (docs/determinism.md).
-  std::mutex deposit_mutex;
+  Mutex deposit_mutex;
   std::vector<std::pair<size_t, std::vector<PendingDeposit>>> deposit_chunks;
   ParallelForChunks(mode_, n, [&](size_t begin, size_t end) {
     TRACE_SCOPE("behaviors chunk");
@@ -130,7 +132,7 @@ void Simulation::RunBehaviors() {
       }
     }
     if (!deposits.empty()) {
-      std::lock_guard<std::mutex> lock(deposit_mutex);
+      MutexLock lock(deposit_mutex);
       deposit_chunks.emplace_back(begin, std::move(deposits));
     }
   });
@@ -142,7 +144,9 @@ void Simulation::RunBehaviors() {
     for (const auto& [begin, deposits] : deposit_chunks) {
       (void)begin;
       for (const PendingDeposit& d : deposits) {
-        grid->IncreaseConcentrationBy(d.position, d.amount);
+        // The serial chunk-ordered merge: the other sanctioned raw-write
+        // site (docs/determinism.md).
+        grid->IncreaseConcentrationBy(d.position, d.amount);  // biosim-lint: allow(direct-deposit)
       }
     }
   }

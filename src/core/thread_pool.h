@@ -4,12 +4,24 @@
 // OpenMP is available and fall back to a plain serial loop otherwise, so the
 // library builds on any toolchain. All loops are deterministic: reductions
 // combine per-chunk partials in chunk order.
+//
+// Concurrency contract (enforced statically — docs/static-analysis.md):
+// these are the ONLY sanctioned parallel primitives in sim code. Raw
+// `#pragma omp ... reduction(...)` clauses and atomic float accumulation are
+// rejected by biosim-lint (`fp-omp-reduction`) because their combine order
+// depends on thread scheduling; ParallelReduce is the deterministic
+// replacement. Shared state mutated inside a ParallelFor(Chunks) body must
+// be guarded (core/analysis.h BIOSIM_GUARDED_BY + Mutex) or be provably
+// per-chunk/per-thread; the TSan build mode (`BIOSIM_SANITIZE=thread
+// scripts/check.sh`) checks this dynamically.
 #ifndef BIOSIM_CORE_THREAD_POOL_H_
 #define BIOSIM_CORE_THREAD_POOL_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "core/analysis.h"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -49,10 +61,20 @@ template <typename F>
 void ParallelFor(ExecMode mode, size_t n, F&& fn) {
   if (mode == ExecMode::kParallel) {
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-    for (int64_t i = 0; i < static_cast<int64_t>(n); ++i) {
-      fn(static_cast<size_t>(i));
+    // `token` re-publishes the end-of-region barrier to TSan (see
+    // core/analysis.h); the split parallel/for form gives each worker a
+    // spot to release after its share of iterations. Identical static
+    // chunking to the combined `parallel for` pragma.
+    char token = 0;
+#pragma omp parallel
+    {
+#pragma omp for schedule(static) nowait
+      for (int64_t i = 0; i < static_cast<int64_t>(n); ++i) {
+        fn(static_cast<size_t>(i));
+      }
+      TsanRelease(&token);
     }
+    TsanAcquire(&token);
     return;
 #endif
   }
@@ -67,6 +89,7 @@ template <typename F>
 void ParallelForChunks(ExecMode mode, size_t n, F&& fn) {
   if (mode == ExecMode::kParallel) {
 #ifdef _OPENMP
+    char token = 0;
 #pragma omp parallel
     {
       size_t nthreads = static_cast<size_t>(omp_get_num_threads());
@@ -77,7 +100,9 @@ void ParallelForChunks(ExecMode mode, size_t n, F&& fn) {
       if (begin < end) {
         fn(begin, end);
       }
+      TsanRelease(&token);
     }
+    TsanAcquire(&token);
     return;
 #endif
   }
@@ -94,6 +119,7 @@ T ParallelReduce(ExecMode mode, size_t n, T init, F&& fn, C&& combine) {
 #ifdef _OPENMP
     int nthreads = omp_get_max_threads();
     std::vector<T> partials(static_cast<size_t>(nthreads), init);
+    char token = 0;
 #pragma omp parallel
     {
       size_t tid = static_cast<size_t>(omp_get_thread_num());
@@ -103,7 +129,11 @@ T ParallelReduce(ExecMode mode, size_t n, T init, F&& fn, C&& combine) {
         local = combine(local, fn(static_cast<size_t>(i)));
       }
       partials[tid] = local;
+      TsanRelease(&token);
     }
+    // The acquire also orders the workers' partials[] stores before the
+    // chunk-ordered merge below.
+    TsanAcquire(&token);
     T result = init;
     for (const T& p : partials) {
       result = combine(result, p);

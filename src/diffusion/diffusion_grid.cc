@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/analysis.h"
+
 namespace biosim {
 
 DiffusionGrid::DiffusionGrid(std::string substance_name, double min_bound,
@@ -54,6 +56,9 @@ void DiffusionGrid::SubStep(double dt, ExecMode mode) {
   // Parallelize over z-slabs: each voxel update reads only its 6-neighborhood
   // of the current field and writes its own cell of the next field.
   ParallelFor(mode, r, [&](size_t z) {
+    // Per-voxel stencil: the diffusion hot loop (biosim-lint enforces no
+    // dynamic dispatch creeping into marked regions).
+    BIOSIM_HOT_LOOP_BEGIN();
     for (size_t y = 0; y < r; ++y) {
       for (size_t x = 0; x < r; ++x) {
         size_t i = Index(x, y, z);
@@ -78,6 +83,7 @@ void DiffusionGrid::SubStep(double dt, ExecMode mode) {
         c_next_[i] = center + alpha * lap - decay * center;
       }
     }
+    BIOSIM_HOT_LOOP_END();
   });
 
   std::swap(c_, c_next_);

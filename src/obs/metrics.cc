@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "core/profiler.h"
 #include "core/thread_pool.h"
@@ -62,7 +64,18 @@ json::Value MetricsRegistry::ToJson() const {
   json::Value counters = json::Value::MakeObject();
   json::Value gauges = json::Value::MakeObject();
   json::Value hists = json::Value::MakeObject();
+  // metrics_ is first-registration-ordered, which depends on which collector
+  // ran first; emit name-sorted so report and JSONL artifacts are
+  // byte-stable across runs and refactors of collection order.
+  std::vector<const Metric*> sorted;
+  sorted.reserve(metrics_.size());
   for (const Metric& m : metrics_) {
+    sorted.push_back(&m);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Metric* a, const Metric* b) { return a->name < b->name; });
+  for (const Metric* mp : sorted) {
+    const Metric& m = *mp;
     switch (m.kind) {
       case Kind::kCounter:
         counters.Set(m.name, m.counter.value());

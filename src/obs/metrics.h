@@ -82,7 +82,8 @@ class MetricsRegistry {
   void Reset();
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
-  /// sum, min, max, mean, p50, p95}}} — insertion order preserved.
+  /// sum, min, max, mean, p50, p95}}} — name-sorted within each section so
+  /// the serialized form is byte-stable regardless of registration order.
   json::Value ToJson() const;
 
  private:

@@ -40,7 +40,7 @@ TraceSession::ThreadBuf* TraceSession::BufForThisThread() {
   if (tls_slot.session_id == id_) {
     return static_cast<ThreadBuf*>(tls_slot.buf);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto buf = std::make_unique<ThreadBuf>();
   buf->ring.reserve(capacity_);
   buf->label = threads_.empty()
@@ -66,7 +66,7 @@ void TraceSession::Record(const char* name, uint64_t start_ns,
 }
 
 const char* TraceSession::Intern(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   interned_.push_back(std::make_unique<std::string>(name));
   return interned_.back()->c_str();
 }
@@ -74,7 +74,7 @@ const char* TraceSession::Intern(const std::string& name) {
 void TraceSession::AddVirtualSpan(
     const std::string& track, const std::string& name, double start_us,
     double dur_us, std::vector<std::pair<std::string, std::string>> args) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t idx = 0;
   for (; idx < virtual_tracks_.size(); ++idx) {
     if (virtual_tracks_[idx] == track) {
@@ -88,7 +88,7 @@ void TraceSession::AddVirtualSpan(
 }
 
 uint64_t TraceSession::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t n = 0;
   for (const auto& t : threads_) {
     n += t->recorded - t->ring.size();
@@ -97,7 +97,7 @@ uint64_t TraceSession::dropped() const {
 }
 
 size_t TraceSession::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = virtual_events_.size();
   for (const auto& t : threads_) {
     n += t->ring.size();
@@ -106,7 +106,7 @@ size_t TraceSession::event_count() const {
 }
 
 std::string TraceSession::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   constexpr int kHostPid = 1;
   constexpr int kVirtualPid = 2;
 

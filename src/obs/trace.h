@@ -34,10 +34,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/analysis.h"
 
 namespace biosim::obs {
 
@@ -130,11 +131,17 @@ class TraceSession {
   std::chrono::steady_clock::time_point epoch_;
   size_t capacity_;
 
-  mutable std::mutex mu_;  // guards registration, interning, virtual tracks
-  std::vector<std::unique_ptr<ThreadBuf>> threads_;
-  std::vector<std::unique_ptr<std::string>> interned_;
-  std::vector<std::string> virtual_tracks_;
-  std::vector<VirtualEvent> virtual_events_;
+  // Registration, interning and virtual tracks go through mu_; the ThreadBuf
+  // contents themselves are single-writer by construction (each buffer is
+  // only ever written by its registering thread) and read by the exporter
+  // after the traced run. The BIOSIM_GUARDED_BY annotations make the lock
+  // discipline a compile-time check under clang -Wthread-safety
+  // (docs/static-analysis.md).
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuf>> threads_ BIOSIM_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<std::string>> interned_ BIOSIM_GUARDED_BY(mu_);
+  std::vector<std::string> virtual_tracks_ BIOSIM_GUARDED_BY(mu_);
+  std::vector<VirtualEvent> virtual_events_ BIOSIM_GUARDED_BY(mu_);
 };
 
 /// RAII span: records [construction, destruction) on the current session.

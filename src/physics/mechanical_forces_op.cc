@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/analysis.h"
 #include "physics/displacement.h"
 #include "physics/interaction_force.h"
 #include "spatial/morton.h"
@@ -167,6 +168,11 @@ void MechanicalForcesOp::ComputeDisplacementsFused(
           cand_diam[w] = diameters[j];
         }
       }
+      // The per-agent stream over the gathered candidates is the engine's
+      // hottest loop; the marker makes biosim-lint reject any dispatch
+      // mechanism (dynamic_cast/typeid/std::function/virtual) introduced
+      // here in the future.
+      BIOSIM_HOT_LOOP_BEGIN();
       const int32_t row_end = starts[b + 1];
       for (int32_t t = starts[b]; t < row_end; ++t) {
         const int32_t i = agents[t];
@@ -202,6 +208,7 @@ void MechanicalForcesOp::ComputeDisplacementsFused(
         displacements_[i] =
             ComputeDisplacement(force, adherences[i], dt, max_disp);
       }
+      BIOSIM_HOT_LOOP_END();
     }
     evals.fetch_add(local_evals, std::memory_order_relaxed);
   });

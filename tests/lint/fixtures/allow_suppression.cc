@@ -1,0 +1,32 @@
+// Fixture: every violation carries a `biosim-lint: allow(<rule>)` escape
+// hatch — same-line or line-above form. Expected: zero findings.
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+namespace fixture {
+void Seeded() {
+  // Same-line suppression:
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // biosim-lint: allow(raw-rand)
+  // Line-above suppression:
+  // biosim-lint: allow(raw-rand)
+  int jitter = std::rand();
+  static_cast<void>(jitter);
+}
+
+int SumValues(const std::unordered_map<int, int>& m) {
+  int total = 0;
+  // biosim-lint: allow(unordered-iter) -- order-independent integer sum
+  for (const auto& kv : m) {
+    total += kv.second;
+  }
+  return total;
+}
+
+void BestEffortLog(std::FILE* f) {
+  const char msg[] = "done\n";
+  // Best-effort trailer, loss is acceptable here:
+  std::fwrite(msg, 1, sizeof(msg) - 1, f);  // biosim-lint: allow(unchecked-io)
+}
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: direct-deposit violations. Expected findings on lines 14, 15.
+namespace fixture {
+struct Double3 {
+  double x, y, z;
+};
+struct DiffusionGrid {
+  void IncreaseConcentrationBy(const Double3& pos, double amount);
+};
+
+struct SecretionBehavior {
+  DiffusionGrid* grid = nullptr;
+  void Run(const Double3& pos) {
+    // Writing the field from a (possibly parallel) behavior pass:
+    grid->IncreaseConcentrationBy(pos, 1.0);
+    (*grid).IncreaseConcentrationBy(pos, 2.0);
+  }
+};
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: fp-omp-reduction violations. Expected findings on lines 9, 16,
+// 21.
+#include <atomic>
+#include <cstddef>
+
+namespace fixture {
+double SumForces(const double* f, size_t n) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total)
+  for (size_t i = 0; i < n; ++i) {
+    total += f[i];
+  }
+  double piecewise = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Schedule-ordered FP accumulation:
+#pragma omp atomic
+    piecewise += f[i];
+  }
+  return total + piecewise;
+}
+std::atomic<double> g_accumulator{0.0};
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: hot-loop-virtual violations. Expected findings on lines 21, 24.
+#include <cstddef>
+#include <typeinfo>
+
+#define BIOSIM_HOT_LOOP_BEGIN() static_cast<void>(0)
+#define BIOSIM_HOT_LOOP_END() static_cast<void>(0)
+
+namespace fixture {
+struct Force {
+  virtual ~Force() = default;  // outside the region: fine
+  virtual double Eval(double d) const = 0;
+};
+struct Linear : Force {
+  double Eval(double d) const override { return d * 2.0; }
+};
+
+double Accumulate(Force* base, const double* dist, size_t n) {
+  double sum = 0.0;
+  BIOSIM_HOT_LOOP_BEGIN();
+  for (size_t i = 0; i < n; ++i) {
+    if (auto* lin = dynamic_cast<Linear*>(base)) {
+      sum += lin->Eval(dist[i]);
+    }
+    if (typeid(*base) == typeid(Linear)) {
+      sum += 1.0;
+    }
+  }
+  BIOSIM_HOT_LOOP_END();
+  return sum;
+}
+}  // namespace fixture

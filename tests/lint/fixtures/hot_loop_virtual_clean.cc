@@ -1,0 +1,28 @@
+// Fixture: hot-loop markers present, but dispatch is resolved OUTSIDE the
+// region — the per-agent loop body is monomorphic. No findings expected.
+#include <cstddef>
+
+#define BIOSIM_HOT_LOOP_BEGIN() static_cast<void>(0)
+#define BIOSIM_HOT_LOOP_END() static_cast<void>(0)
+
+namespace fixture {
+struct Force {
+  virtual ~Force() = default;
+  virtual double Coefficient() const = 0;
+};
+struct Linear : Force {
+  double Coefficient() const override { return 2.0; }
+};
+
+double Accumulate(const Force& f, const double* dist, size_t n) {
+  // One virtual call, hoisted out of the loop.
+  const double k = f.Coefficient();
+  double sum = 0.0;
+  BIOSIM_HOT_LOOP_BEGIN();
+  for (size_t i = 0; i < n; ++i) {
+    sum += k * dist[i];
+  }
+  BIOSIM_HOT_LOOP_END();
+  return sum;
+}
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: raw-rand violations. Expected findings on lines 8, 9, 12.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+double JitteredDelay() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  double jitter = static_cast<double>(rand()) / RAND_MAX;
+  return jitter;
+}
+std::mt19937 shared_engine;  // shared mutable generator
+}  // namespace fixture

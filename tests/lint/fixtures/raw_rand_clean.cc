@@ -1,0 +1,18 @@
+// Fixture: the sanctioned pattern — counter-based streams from
+// core/random.h. Mentions of rand() or time() in comments or strings must
+// not trip the rule: "never call rand() here".
+#include <cstdint>
+
+namespace fixture {
+struct Random {
+  static Random ForStream(uint64_t seed, uint64_t stream, uint64_t counter);
+  double Uniform();
+};
+
+double JitteredDelay(uint64_t seed, uint64_t uid, uint64_t step) {
+  Random rng = Random::ForStream(seed, uid, step);
+  const char* doc = "rand() and srand() are banned; see docs";
+  (void)doc;
+  return rng.Uniform();  // reproducible at any thread count
+}
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: unchecked-io violations. Expected findings on lines 9, 11.
+#include <cstdio>
+
+namespace fixture {
+void SaveHeader(std::FILE* f) {
+  const char magic[8] = {'B', 'I', 'O', 'S', 'I', 'M', 'C', 'K'};
+  double version = 1.0;
+  // Both results discarded — a full disk truncates the checkpoint silently:
+  std::fwrite(magic, 1, sizeof(magic), f);
+  unsigned char buf[8];
+  fread(buf, 1, sizeof(buf), f);
+}
+}  // namespace fixture

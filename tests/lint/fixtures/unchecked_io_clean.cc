@@ -1,0 +1,14 @@
+// Fixture: every I/O result is consumed — assigned, compared, or returned.
+#include <cstdio>
+
+namespace fixture {
+bool SaveHeader(std::FILE* f) {
+  const char magic[8] = {'B', 'I', 'O', 'S', 'I', 'M', 'C', 'K'};
+  if (std::fwrite(magic, 1, sizeof(magic), f) != sizeof(magic)) {
+    return false;
+  }
+  unsigned char buf[8];
+  size_t got = std::fread(buf, 1, sizeof(buf), f);
+  return got == sizeof(buf) && fread(buf, 1, 1, f) == 1;
+}
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Fixture: unordered-iter violations. Expected findings on lines 11, 16.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+void EmitReport(const std::unordered_map<std::string, double>& totals) {
+  std::unordered_set<int> seen;
+  seen.insert(1);
+  for (const auto& [name, ms] : totals) {
+    std::printf("%s %f\n", name.c_str(), ms);
+  }
+  // Iterator-loop form over the set:
+  double sum = 0.0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    sum += *it;
+  }
+  (void)sum;
+}
+}  // namespace fixture

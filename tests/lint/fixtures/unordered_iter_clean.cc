@@ -1,0 +1,35 @@
+// Fixture: unordered containers used only for O(1) lookup (the profiler /
+// metrics-registry idiom: a hash index beside first-seen-ordered storage).
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+struct Entry {
+  std::string name;
+  double ms = 0.0;
+};
+
+class Profile {
+ public:
+  void Add(const std::string& name, double ms) {
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+      it = index_.emplace(name, entries_.size()).first;
+      entries_.push_back(Entry{name, 0.0});
+    }
+    entries_[it->second].ms += ms;
+  }
+  void Emit() const {
+    // Iteration happens over the deque (first-seen order), never the map.
+    for (const Entry& e : entries_) {
+      std::printf("%s %f\n", e.name.c_str(), e.ms);
+    }
+  }
+
+ private:
+  std::deque<Entry> entries_;
+  std::unordered_map<std::string, size_t> index_;
+};
+}  // namespace fixture
