@@ -76,6 +76,17 @@ void RunConfig::Validate() const {
     fail("zorder_every is a CPU-path knob (GPU versions 2+ already Z-order "
          "sort on the device)");
   }
+  if (precision != "fp64" && precision != "fp32") {
+    fail("precision must be fp64 or fp32, got '" + precision + "'");
+  }
+  if ((simd || precision == "fp32") && backend_type == "gpu") {
+    fail("simd / precision are CPU force-kernel knobs (the GPU ladder has "
+         "its own FP32 versions)");
+  }
+  if ((simd || precision == "fp32") && !cpu_fast_path) {
+    fail("simd / fp32 precision vectorize the fused kernel and require "
+         "cpu_fast_path");
+  }
   if (gpu_device != "1080ti" && gpu_device != "v100") {
     fail("gpu device must be 1080ti or v100, got '" + gpu_device + "'");
   }
@@ -143,6 +154,10 @@ RunConfig ParseConfigString(const std::string& text) {
        [&](const std::string& v, size_t l) {
          cfg.cpu_fast_path = ToBool(v, l);
        }},
+      {"simd",
+       [&](const std::string& v, size_t l) { cfg.simd = ToBool(v, l); }},
+      {"precision",
+       [&](const std::string& v, size_t) { cfg.precision = v; }},
       {"zorder_every",
        [&](const std::string& v, size_t l) {
          cfg.zorder_every = ToU64(v, l);

@@ -8,6 +8,8 @@
 //   boundary = clamp              ; clamp | torus | open
 //   threads = 0                   ; CPU workers; 0 = hardware concurrency
 //   cpu_fast_path = true          ; fused CSR force kernel (docs/perf.md)
+//   simd = false                  ; vectorize the fused kernel (docs/perf.md)
+//   precision = fp64              ; fp64 | fp32 force-kernel pair math
 //   zorder_every = 0              ; re-sort agents into Z-order every N steps
 //
 //   [model]
@@ -64,6 +66,17 @@ struct RunConfig {
   /// bitwise-identical to the generic callback path, so disabling it only
   /// trades speed. Ignored by the GPU backend.
   bool cpu_fast_path = true;
+  /// Vectorize the fused force kernel (docs/perf.md). Opt-in: the vector
+  /// kernel FMA-contracts the distance computation, so results are only
+  /// tolerance-equal to the scalar reference (cpu_simd parity row), though
+  /// still bitwise reproducible run-to-run, across thread counts and
+  /// across vector widths. Requires cpu_fast_path; CPU backend only.
+  bool simd = false;
+  /// Pair-math precision of the CPU force kernel: "fp64" (default) or
+  /// "fp32" (the paper's Improvement I on the host; implies the vectorized
+  /// kernel and the cpu_fp32 parity bound). CPU backend only — the GPU
+  /// ladder has its own FP32 versions.
+  std::string precision = "fp64";
   /// Re-sort agents into Z-order every N steps on the CPU pipeline
   /// (0 = never). Cache-locality knob; permutes rows uid-stably.
   uint64_t zorder_every = 0;

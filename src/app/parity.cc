@@ -35,6 +35,14 @@ constexpr double kGpuFp64Tol = 1e-9;
 // robustness headroom without hiding real errors (a wrong kernel is off by
 // whole diameters, not hundredths).
 constexpr double kGpuFp32Tol = 2e-2;
+// The SIMD kernel FMA-contracts the squared-distance computation
+// (physics/simd_force_kernel.h); each contracted d² differs by at most one
+// ulp from the scalar dot product, so a five-step trajectory stays far
+// below the kd-tree-style 1e-9 bound it shares.
+constexpr double kCpuSimdTol = 1e-9;
+// Host FP32 pair math mirrors the GPU FP32 ladder (same narrowing, double
+// accumulation), so it owes the same 2e-2 bound as gpu_v1..v3.
+constexpr double kCpuFp32Tol = 2e-2;
 
 struct BackendSpec {
   const char* name;
@@ -47,6 +55,10 @@ struct BackendSpec {
   /// (docs/perf.md). The reference rows pin this off so the cpu_fast rows
   /// prove fused == legacy rather than fused == fused.
   bool fast_path = false;
+  /// Vectorize the fused kernel (Param::cpu_simd); tolerance contract.
+  bool simd = false;
+  /// FP32 pair math (Param::precision = kFp32); tolerance contract.
+  bool fp32 = false;
 };
 
 std::unique_ptr<Simulation> MakeSim(const ParityScenario& sc,
@@ -56,6 +68,8 @@ std::unique_ptr<Simulation> MakeSim(const ParityScenario& sc,
   param.min_bound = 0.0;
   param.max_bound = sc.space;
   param.cpu_fast_path = b.fast_path;
+  param.cpu_simd = b.simd;
+  param.precision = b.fp32 ? Precision::kFp32 : Precision::kFp64;
   auto sim = std::make_unique<Simulation>(param);
   sim->CreateRandomCells(sc.agents, sc.diameter);
   switch (b.kind) {
@@ -123,6 +137,10 @@ ParityReport RunParity(const ParityScenario& scenario) {
       {"ug_parallel", Kind::kCpuGrid, ExecMode::kParallel, 0, true, 0.0},
       {"cpu_fast", Kind::kCpuGrid, ExecMode::kSerial, 0, true, 0.0, true},
       {"cpu_fast_mt", Kind::kCpuGrid, ExecMode::kParallel, 0, true, 0.0, true},
+      {"cpu_simd", Kind::kCpuGrid, ExecMode::kSerial, 0, false, kCpuSimdTol,
+       true, true},
+      {"cpu_fp32", Kind::kCpuGrid, ExecMode::kSerial, 0, false, kCpuFp32Tol,
+       true, true, true},
       {"kdtree", Kind::kCpuKdTree, ExecMode::kSerial, 0, false, kKdTreeTol},
       {"gpu_v0", Kind::kGpu, ExecMode::kSerial, 0, false, kGpuFp64Tol},
       {"gpu_v1", Kind::kGpu, ExecMode::kSerial, 1, false, kGpuFp32Tol},

@@ -2,18 +2,20 @@
 //
 // Runs one seeded scenario through every neighbor-search / mechanics backend
 // combination the engine ships — kd-tree, uniform grid serial, uniform grid
-// parallel, the fused CSR fast path (serial and parallel), and the GPU
-// version ladder v0..v3 — and compares each trajectory against the
+// parallel, the fused CSR fast path (serial and parallel), the vectorized
+// fused kernel (cpu_simd, and its FP32 precision mode cpu_fp32), and the
+// GPU version ladder v0..v3 — and compares each trajectory against the
 // uniform-grid serial reference (which pins the fast path *off*, so the
 // cpu_fast rows prove fused == legacy):
 //
 //   * backends that owe *bitwise* equality (uniform grid parallel and the
 //     fused fast path: same FP operations in the same order at any worker
 //     count) are compared by their per-step state-hash sequences;
-//   * backends that legitimately reorder or reprecision the FP work
-//     (kd-tree traversal order; GPU FP64/FP32 kernels) are compared by the
-//     final per-agent positions, keyed by uid, against a documented
-//     tolerance bound.
+//   * backends that legitimately alter individual FP operations
+//     (kd-tree traversal order; the SIMD kernel's FMA-contracted
+//     distances; host/GPU FP32 kernels) are compared by the final
+//     per-agent positions, keyed by uid, against a documented tolerance
+//     bound.
 //
 // Both tools/biosim_parity.cc and tests/integration/parity_test.cc are thin
 // wrappers around RunParity, so CI and local runs enforce the same bounds.

@@ -37,6 +37,8 @@ obs::json::Value ConfigJson(const RunConfig& cfg) {
   v.Set("boundary", cfg.boundary);
   v.Set("threads", cfg.num_threads);
   v.Set("cpu_fast_path", cfg.cpu_fast_path);
+  v.Set("simd", cfg.simd);
+  v.Set("precision", cfg.precision);
   v.Set("zorder_every", cfg.zorder_every);
   v.Set("model_type", cfg.model_type);
   if (cfg.model_type == "cell_division") {
@@ -69,6 +71,9 @@ std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
   param.random_seed = cfg.seed;
   param.num_threads = cfg.num_threads;
   param.cpu_fast_path = cfg.cpu_fast_path;
+  param.cpu_simd = cfg.simd;
+  param.precision =
+      cfg.precision == "fp32" ? Precision::kFp32 : Precision::kFp64;
   param.zorder_cadence = static_cast<uint32_t>(cfg.zorder_every);
   param.simulation_time_step = cfg.timestep;
   param.simulation_max_displacement = cfg.max_displacement;

@@ -1,0 +1,96 @@
+// Capacity-managed, cache-line-aligned scratch storage.
+//
+// The fused force kernel re-gathers its candidate block into scratch
+// arrays for every box. `std::vector::resize` is the wrong tool for that
+// scratch twice over: growth value-initializes every element the gather
+// is about to overwrite anyway, and the allocation has no alignment
+// guarantee beyond alignof(T) — the SIMD kernels want their SoA
+// component arrays on 64-byte boundaries (simd::kAlignment).
+//
+// AlignedBuffer<T> fixes both: EnsureCapacity(n) returns a pointer to at
+// least n elements of aligned, *uninitialized* storage. No constructors
+// run on growth; contents are preserved only while the capacity does not
+// change (the gather overwrites its prefix every box, so nothing is
+// copied on growth either). Restricted to trivial T so raw byte storage
+// is a valid object representation (C++20 implicit-lifetime rules).
+#ifndef BIOSIM_CORE_ALIGNED_BUFFER_H_
+#define BIOSIM_CORE_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "core/simd.h"
+
+namespace biosim {
+
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "AlignedBuffer hands out uninitialized storage; only "
+                "trivial element types are sound");
+
+ public:
+  AlignedBuffer() = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        capacity_(std::exchange(o.capacity_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      Release();
+      data_ = std::exchange(o.data_, nullptr);
+      capacity_ = std::exchange(o.capacity_, 0);
+    }
+    return *this;
+  }
+  ~AlignedBuffer() { Release(); }
+
+  /// Storage for at least `n` elements, aligned to simd::kAlignment.
+  /// Growth is geometric (so per-box EnsureCapacity calls amortize to
+  /// O(1) allocations) and *discards* previous contents; when `n` fits
+  /// the current capacity the pointer and contents are unchanged.
+  T* EnsureCapacity(size_t n) {
+    if (n > capacity_) {
+      size_t want = capacity_ * 2;
+      if (want < n) {
+        want = n;
+      }
+      if (want < kMinCapacity) {
+        want = kMinCapacity;
+      }
+      Release();
+      data_ = static_cast<T*>(::operator new(
+          want * sizeof(T), std::align_val_t{simd::kAlignment}));
+      capacity_ = want;
+    }
+    return data_;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr size_t kMinCapacity = simd::kAlignment / sizeof(T) > 0
+                                             ? simd::kAlignment / sizeof(T)
+                                             : 1;
+
+  void Release() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{simd::kAlignment});
+      data_ = nullptr;
+      capacity_ = 0;
+    }
+  }
+
+  T* data_ = nullptr;
+  size_t capacity_ = 0;
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_CORE_ALIGNED_BUFFER_H_

@@ -20,6 +20,15 @@ enum class BoundaryMode : uint8_t {
   kTorus,  // periodic: positions wrap, distances are minimum-image
 };
 
+/// Floating-point width of the CPU force kernel's pair math (the paper's
+/// Improvement I applied to the host). kFp32 narrows positions/diameters
+/// into the gather scratch and evaluates Eq. (1) in float; accumulation
+/// stays double. Tolerance contract, not bitwise (docs/determinism.md).
+enum class Precision : uint8_t {
+  kFp64,
+  kFp32,
+};
+
 struct Param {
   // --- space -----------------------------------------------------------
   /// Simulation space is the cube [min_bound, max_bound]^3.
@@ -78,6 +87,22 @@ struct Param {
   /// environments always take the generic path.
   bool cpu_fast_path = true;
 
+  /// Vectorize the fused force kernel's per-agent candidate sweep
+  /// (physics/simd_force_kernel.h): width-padded SoA gather + vector
+  /// distance pass, dispatched to the widest ISA the CPU supports
+  /// (BIOSIM_SIMD=scalar forces width 1). Opt-in because the vector pass
+  /// FMA-contracts the squared distance, changing the last bits vs the
+  /// scalar reference — the cpu_simd parity row bounds the divergence at
+  /// 1e-9. Results are bitwise independent of the dispatched width and of
+  /// the thread count. Requires cpu_fast_path and the uniform-grid
+  /// environment.
+  bool cpu_simd = false;
+
+  /// Pair-math precision of the CPU force kernel. kFp32 implies the
+  /// vectorized kernel (same requirements as cpu_simd) and owes the
+  /// cpu_fp32 parity bound of 2e-2, mirroring the FP32 GPU rows.
+  Precision precision = Precision::kFp64;
+
   /// Re-sort agents into Z-order (spatial/zorder_sort.h) every N steps of
   /// the CPU pipeline; 0 disables. The paper's Improvement II applied to
   /// host cache locality: spatially adjacent agents become memory-adjacent,
@@ -117,6 +142,10 @@ struct Param {
     }
     if (boundary_mode == BoundaryMode::kTorus && !bound_space) {
       fail("torus boundaries require bound_space");
+    }
+    if ((cpu_simd || precision == Precision::kFp32) && !cpu_fast_path) {
+      fail("cpu_simd / fp32 precision vectorize the fused kernel and "
+           "require cpu_fast_path");
     }
   }
 };

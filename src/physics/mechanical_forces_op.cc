@@ -5,26 +5,58 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/aligned_buffer.h"
 #include "core/analysis.h"
+#include "core/simd.h"
 #include "physics/displacement.h"
 #include "physics/interaction_force.h"
+#include "physics/simd_kernel_dispatch.h"
 #include "spatial/morton.h"
 #include "spatial/uniform_grid.h"
 
 namespace biosim {
 
+namespace {
+
+/// Shared precondition of both fused paths: the 27-box scheme only covers
+/// one box length.
+void CheckRadiusFitsBox(const UniformGridEnvironment& grid) {
+  const double radius = grid.interaction_radius();
+  if (radius > grid.box_length() + 1e-12) {
+    throw std::invalid_argument(
+        "MechanicalForcesOp: interaction radius " + std::to_string(radius) +
+        " exceeds the grid box length " + std::to_string(grid.box_length()));
+  }
+}
+
+}  // namespace
+
 void MechanicalForcesOp::ComputeDisplacements(const ResourceManager& rm,
                                               const Environment& env,
                                               const Param& param,
                                               ExecMode mode) {
-  if (param.cpu_fast_path) {
-    // One dynamic_cast per step, not per query: the fused path only exists
-    // for the uniform grid (it consumes the CSR layout); kd-tree and null
+  const bool vector_mode =
+      param.cpu_simd || param.precision == Precision::kFp32;
+  if (param.cpu_fast_path || vector_mode) {
+    // One dynamic_cast per step, not per query: the fused paths only exist
+    // for the uniform grid (they consume the CSR layout); kd-tree and null
     // environments fall through to the generic path below.
     if (const auto* grid = dynamic_cast<const UniformGridEnvironment*>(&env)) {
       used_fast_path_ = true;
-      ComputeDisplacementsFused(rm, *grid, param, mode);
+      if (vector_mode) {
+        ComputeDisplacementsSimd(rm, *grid, param, mode);
+      } else {
+        ComputeDisplacementsFused(rm, *grid, param, mode);
+      }
       return;
+    }
+    if (vector_mode) {
+      // No silent precision/summation-order change on a path the parity
+      // rows don't cover: vector modes are uniform-grid only.
+      throw std::invalid_argument(
+          "MechanicalForcesOp: cpu_simd / fp32 precision require the "
+          "uniform-grid environment (the vector kernel consumes its CSR "
+          "layout)");
     }
   }
   used_fast_path_ = false;
@@ -74,47 +106,15 @@ void MechanicalForcesOp::ComputeDisplacements(const ResourceManager& rm,
   force_evaluations_ = evals.load(std::memory_order_relaxed);
 }
 
-void MechanicalForcesOp::ComputeDisplacementsFused(
-    const ResourceManager& rm, const UniformGridEnvironment& grid,
-    const Param& param, ExecMode mode) {
-  const size_t n = rm.size();
-  displacements_.assign(n, Double3{});
-  if (n == 0) {
-    force_evaluations_ = 0;
-    return;
-  }
-
-  const double radius = grid.interaction_radius();
-  if (radius > grid.box_length() + 1e-12) {
-    // Same contract the per-query traversal enforces: the 27-box scheme only
-    // covers one box length.
-    throw std::invalid_argument(
-        "MechanicalForcesOp: interaction radius " + std::to_string(radius) +
-        " exceeds the grid box length " + std::to_string(grid.box_length()));
-  }
-
-  const Double3* positions = rm.positions().data();
-  const double* diameters = rm.diameters().data();
-  const double* adherences = rm.adherences().data();
-  const Double3* tractor = rm.tractor_forces().data();
-  const int32_t* starts = grid.box_starts().data();
-  const int32_t* agents = grid.box_agents().data();
-
-  const ForceParams<double> fp{param.repulsion_coefficient,
-                               param.attraction_coefficient};
-  const ForceLaw law = force_law_;
-  const double dt = param.simulation_time_step;
-  const double max_disp = param.simulation_max_displacement;
-  const double r2 = radius * radius;
-  const bool torus = param.EffectiveBoundary() == BoundaryMode::kTorus;
-  const double edge = param.SpaceEdge();
-
+void MechanicalForcesOp::BuildMortonBoxes(const UniformGridEnvironment& grid,
+                                          size_t n) {
   // Traverse boxes along the Z-curve: consecutive boxes are spatially
   // adjacent, so their 27-neighbor blocks overlap heavily and the position
   // rows they stream stay hot in cache (the paper's Improvement II applied
   // to the host). Only the traversal *order* changes — each agent's own
   // neighbor sequence is fixed by NeighborBoxesOf + ascending CSR runs — so
   // displacements are bitwise independent of this ordering choice.
+  const int32_t* starts = grid.box_starts().data();
   const size_t total = grid.total_boxes();
   morton_boxes_.clear();
   morton_boxes_.reserve(std::min(total, n));
@@ -128,6 +128,37 @@ void MechanicalForcesOp::ComputeDisplacementsFused(
     }
   }
   std::sort(morton_boxes_.begin(), morton_boxes_.end());
+}
+
+void MechanicalForcesOp::ComputeDisplacementsFused(
+    const ResourceManager& rm, const UniformGridEnvironment& grid,
+    const Param& param, ExecMode mode) {
+  const size_t n = rm.size();
+  displacements_.assign(n, Double3{});
+  if (n == 0) {
+    force_evaluations_ = 0;
+    return;
+  }
+  CheckRadiusFitsBox(grid);
+
+  const Double3* positions = rm.positions().data();
+  const double* diameters = rm.diameters().data();
+  const double* adherences = rm.adherences().data();
+  const Double3* tractor = rm.tractor_forces().data();
+  const int32_t* starts = grid.box_starts().data();
+  const int32_t* agents = grid.box_agents().data();
+
+  const ForceParams<double> fp{param.repulsion_coefficient,
+                               param.attraction_coefficient};
+  const ForceLaw law = force_law_;
+  const double dt = param.simulation_time_step;
+  const double max_disp = param.simulation_max_displacement;
+  const double radius = grid.interaction_radius();
+  const double r2 = radius * radius;
+  const bool torus = param.EffectiveBoundary() == BoundaryMode::kTorus;
+  const double edge = param.SpaceEdge();
+
+  BuildMortonBoxes(grid, n);
 
   std::atomic<size_t> evals{0};
 
@@ -138,10 +169,13 @@ void MechanicalForcesOp::ComputeDisplacementsFused(
     // agent: every agent in a box shares the identical candidate set, so the
     // scattered positions[j] loads happen once per box instead of once per
     // agent, and the per-agent loop runs over one flat contiguous array.
-    // Gathering copies bits, so the FP inputs are unchanged.
-    std::vector<int32_t> cand_idx;
-    std::vector<Double3> cand_pos;
-    std::vector<double> cand_diam;
+    // Gathering copies bits, so the FP inputs are unchanged. The scratch is
+    // capacity-managed uninitialized storage (core/aligned_buffer.h) — a
+    // std::vector::resize here would value-initialize every element the
+    // gather is about to overwrite on each capacity step.
+    AlignedBuffer<int32_t> cand_idx_buf;
+    AlignedBuffer<Double3> cand_pos_buf;
+    AlignedBuffer<double> cand_diam_buf;
     for (size_t bi = begin; bi < end; ++bi) {
       const size_t b = morton_boxes_[bi].second;
       // Resolve the 3x3x3 block once per box and reuse it for every
@@ -154,9 +188,9 @@ void MechanicalForcesOp::ComputeDisplacementsFused(
         cand_n += static_cast<size_t>(starts[blocks[k] + 1] -
                                       starts[blocks[k]]);
       }
-      cand_idx.resize(cand_n);
-      cand_pos.resize(cand_n);
-      cand_diam.resize(cand_n);
+      int32_t* cand_idx = cand_idx_buf.EnsureCapacity(cand_n);
+      Double3* cand_pos = cand_pos_buf.EnsureCapacity(cand_n);
+      double* cand_diam = cand_diam_buf.EnsureCapacity(cand_n);
       size_t w = 0;
       for (int k = 0; k < block_count; ++k) {
         const size_t nb = blocks[k];
@@ -211,6 +245,59 @@ void MechanicalForcesOp::ComputeDisplacementsFused(
       BIOSIM_HOT_LOOP_END();
     }
     evals.fetch_add(local_evals, std::memory_order_relaxed);
+  });
+
+  force_evaluations_ = evals.load(std::memory_order_relaxed);
+}
+
+void MechanicalForcesOp::ComputeDisplacementsSimd(
+    const ResourceManager& rm, const UniformGridEnvironment& grid,
+    const Param& param, ExecMode mode) {
+  const size_t n = rm.size();
+  displacements_.assign(n, Double3{});
+  if (n == 0) {
+    force_evaluations_ = 0;
+    return;
+  }
+  CheckRadiusFitsBox(grid);
+
+  BuildMortonBoxes(grid, n);
+
+  const double radius = grid.interaction_radius();
+  std::atomic<size_t> evals{0};
+
+  detail::FusedSimdArgs args;
+  args.positions = rm.positions().data();
+  args.diameters = rm.diameters().data();
+  args.tractor = rm.tractor_forces().data();
+  args.grid = &grid;
+  args.boxes = morton_boxes_.data();
+  args.num_boxes = morton_boxes_.size();
+  args.law = force_law_;
+  args.repulsion = param.repulsion_coefficient;
+  args.attraction = param.attraction_coefficient;
+  args.r2 = radius * radius;
+  args.torus = param.EffectiveBoundary() == BoundaryMode::kTorus;
+  args.edge = param.SpaceEdge();
+  args.mode = mode;
+  args.out_forces = displacements_.data();
+  args.force_evaluations = &evals;
+
+  // Function-pointer dispatch happens once per pass, outside the hot-loop
+  // markers; WidthModeFromEnv is re-read per pass so tests can flip
+  // BIOSIM_SIMD in-process.
+  const detail::FusedSimdKernelFn kernel = detail::SelectFusedSimdKernel(
+      param.precision == Precision::kFp32, simd::WidthModeFromEnv());
+  kernel(args);
+
+  // Force -> displacement epilogue, in this baseline-compiled TU (see
+  // FusedSimdArgs): elementwise, so chunking cannot reorder any FP work.
+  const double* adherences = rm.adherences().data();
+  const double dt = param.simulation_time_step;
+  const double max_disp = param.simulation_max_displacement;
+  Double3* disp = displacements_.data();
+  ParallelFor(mode, n, [&](size_t i) {
+    disp[i] = ComputeDisplacement(disp[i], adherences[i], dt, max_disp);
   });
 
   force_evaluations_ = evals.load(std::memory_order_relaxed);

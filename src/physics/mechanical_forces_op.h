@@ -7,8 +7,7 @@
 // the same two-phase structure the GPU offload uses (compute on device,
 // apply on host).
 //
-// Two compute paths produce bitwise-identical displacement buffers
-// (docs/perf.md):
+// Three compute paths (docs/perf.md):
 //
 //   * generic: per-agent virtual ForEachNeighborWithinRadius with a
 //     function_ref callback — works against any Environment;
@@ -16,11 +15,19 @@
 //     in Morton order over the grid's CSR layout. Each box resolves its
 //     27-neighbor block once and reuses it for every resident agent, and the
 //     inner loop streams contiguous box_agents runs with no indirect calls.
-//
-// Bitwise equality holds because both paths visit each agent's neighbors in
-// the identical canonical order (UniformGridEnvironment::NeighborBoxesOf
-// block order, ascending agent index within a box) and evaluate the same FP
-// expressions on them.
+//     Bitwise-identical to the generic path: both visit each agent's
+//     neighbors in the identical canonical order (NeighborBoxesOf block
+//     order, ascending agent index within a box) and evaluate the same FP
+//     expressions on them;
+//   * SIMD (param.cpu_simd and/or Precision::kFp32, uniform grid only):
+//     the fused traversal with the per-agent candidate sweep vectorized
+//     over width-padded SoA scratch (physics/simd_force_kernel.h),
+//     optionally with the pair math narrowed to FP32 (the paper's
+//     Improvement I on the host). FMA-contracted distances mean this path
+//     owes only a *tolerance* against the scalar reference — but it is
+//     bitwise independent of the dispatched vector width, the worker
+//     count, and the run (docs/determinism.md, parity rows cpu_simd /
+//     cpu_fp32).
 #ifndef BIOSIM_PHYSICS_MECHANICAL_FORCES_OP_H_
 #define BIOSIM_PHYSICS_MECHANICAL_FORCES_OP_H_
 
@@ -46,7 +53,10 @@ class MechanicalForcesOp {
       : force_law_(law) {}
 
   /// Compute per-agent displacements into an internal buffer. The
-  /// environment must be up to date.
+  /// environment must be up to date. Throws std::invalid_argument when a
+  /// vector mode (param.cpu_simd / FP32 precision) is requested but the
+  /// environment is not a uniform grid — the vector kernel consumes the
+  /// grid's CSR layout and has no generic fallback.
   void ComputeDisplacements(const ResourceManager& rm, const Environment& env,
                             const Param& param, ExecMode mode);
 
@@ -61,11 +71,12 @@ class MechanicalForcesOp {
 
   /// Number of force evaluations in the last ComputeDisplacements call
   /// (work-count diagnostics; also drives CPU-model calibration). Identical
-  /// between the generic and fused paths — the CI perf-smoke job fails if
-  /// they ever diverge.
+  /// between the generic, fused, and SIMD paths — the CI perf-smoke job
+  /// fails if they ever diverge.
   size_t last_force_evaluations() const { return force_evaluations_; }
 
-  /// Whether the last ComputeDisplacements call took the fused CSR path.
+  /// Whether the last ComputeDisplacements call took the fused CSR path
+  /// (scalar or SIMD).
   bool last_used_fast_path() const { return used_fast_path_; }
 
  private:
@@ -74,11 +85,21 @@ class MechanicalForcesOp {
                                  const UniformGridEnvironment& grid,
                                  const Param& param, ExecMode mode);
 
+  /// The vectorized fused path (and FP32 mode); dispatches to the widest
+  /// kernel the CPU supports unless BIOSIM_SIMD=scalar narrows it.
+  void ComputeDisplacementsSimd(const ResourceManager& rm,
+                                const UniformGridEnvironment& grid,
+                                const Param& param, ExecMode mode);
+
+  /// Rebuild morton_boxes_ (the shared fused traversal order) for the
+  /// grid's current non-empty boxes.
+  void BuildMortonBoxes(const UniformGridEnvironment& grid, size_t n);
+
   ForceLaw force_law_;
   std::vector<Double3> displacements_;
   size_t force_evaluations_ = 0;
   bool used_fast_path_ = false;
-  /// Scratch reused across steps by the fused path: non-empty boxes sorted
+  /// Scratch reused across steps by the fused paths: non-empty boxes sorted
   /// by the Morton code of their coordinates.
   std::vector<std::pair<uint64_t, uint32_t>> morton_boxes_;
 };

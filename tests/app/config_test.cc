@@ -140,6 +140,34 @@ TEST(ConfigTest, ParallelBlocksAndRacyGridBuildParseAndRequireGpu) {
                std::invalid_argument);
 }
 
+TEST(ConfigTest, SimdAndPrecisionKeysParseAndValidate) {
+  RunConfig cfg = ParseConfigString(
+      "[simulation]\nsimd = true\nprecision = fp32\n");
+  EXPECT_TRUE(cfg.simd);
+  EXPECT_EQ(cfg.precision, "fp32");
+  EXPECT_FALSE(ParseConfigString("").simd);
+  EXPECT_EQ(ParseConfigString("").precision, "fp64");
+  // The only precisions the kernel implements.
+  EXPECT_THROW(ParseConfigString("[simulation]\nprecision = fp16\n"),
+               std::invalid_argument);
+  // Both knobs vectorize the *CPU* fused kernel: the GPU ladder has its
+  // own FP32 versions, and without the fused path there is nothing to
+  // vectorize.
+  EXPECT_THROW(ParseConfigString(
+                   "[simulation]\nsimd = true\n[backend]\ntype = gpu\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseConfigString(
+                   "[simulation]\nprecision = fp32\n[backend]\ntype = gpu\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseConfigString(
+                   "[simulation]\nsimd = true\ncpu_fast_path = false\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ParseConfigString(
+          "[simulation]\nprecision = fp32\ncpu_fast_path = false\n"),
+      std::invalid_argument);
+}
+
 TEST(ConfigTest, ValidationRejectsBadEnumValues) {
   EXPECT_THROW(ParseConfigString("[model]\ntype = banana\n"),
                std::invalid_argument);

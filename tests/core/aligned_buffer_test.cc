@@ -1,0 +1,114 @@
+// AlignedBuffer (core/aligned_buffer.h): the capacity-managed scratch
+// the fused and SIMD force kernels gather into. The contract under test:
+// 64-byte alignment always, pointer and contents stable while requests
+// fit the capacity, geometric growth (amortized O(1) allocations for the
+// kernels' per-box EnsureCapacity calls), move-only ownership. The
+// value-initialization regression this class exists to prevent — a
+// std::vector::resize zeroing every element the gather overwrites — is
+// covered behaviorally by the stale-scratch test in
+// tests/physics/simd_force_diff_test.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "core/aligned_buffer.h"
+#include "core/math.h"
+#include "core/simd.h"
+
+namespace biosim {
+namespace {
+
+template <typename T>
+bool IsCacheLineAligned(const T* p) {
+  return reinterpret_cast<uintptr_t>(p) % simd::kAlignment == 0;
+}
+
+TEST(AlignedBufferTest, EveryAllocationIsCacheLineAligned) {
+  AlignedBuffer<double> buf;
+  // Walk through several growth steps, including odd sizes that a plain
+  // malloc would place on 16-byte boundaries.
+  for (size_t n : {1u, 3u, 7u, 100u, 1001u, 5000u}) {
+    double* p = buf.EnsureCapacity(n);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(IsCacheLineAligned(p)) << "n=" << n;
+    EXPECT_GE(buf.capacity(), n);
+  }
+  AlignedBuffer<float> fbuf;
+  EXPECT_TRUE(IsCacheLineAligned(fbuf.EnsureCapacity(13)));
+  AlignedBuffer<int32_t> ibuf;
+  EXPECT_TRUE(IsCacheLineAligned(ibuf.EnsureCapacity(27)));
+  AlignedBuffer<Double3> vbuf;
+  EXPECT_TRUE(IsCacheLineAligned(vbuf.EnsureCapacity(42)));
+}
+
+TEST(AlignedBufferTest, PointerAndContentsStableWithinCapacity) {
+  AlignedBuffer<int32_t> buf;
+  int32_t* p = buf.EnsureCapacity(64);
+  const size_t cap = buf.capacity();
+  for (int32_t i = 0; i < 64; ++i) {
+    p[i] = i * 3;
+  }
+  // Any request that fits must return the same pointer and leave the
+  // bytes alone — the kernels rely on this when a later box is smaller.
+  for (size_t n : {64u, 32u, 1u, 0u}) {
+    int32_t* q = buf.EnsureCapacity(n);
+    EXPECT_EQ(q, p) << "n=" << n;
+    EXPECT_EQ(buf.capacity(), cap);
+  }
+  for (int32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(p[i], i * 3);
+  }
+}
+
+TEST(AlignedBufferTest, GrowthIsGeometric) {
+  AlignedBuffer<double> buf;
+  buf.EnsureCapacity(10);
+  const size_t first = buf.capacity();
+  EXPECT_GE(first, 10u);
+  // Growing by one element must at least double, not reallocate to fit.
+  buf.EnsureCapacity(first + 1);
+  EXPECT_GE(buf.capacity(), first * 2);
+}
+
+TEST(AlignedBufferTest, FirstAllocationCoversAFullCacheLine) {
+  // The minimum capacity keeps tiny first requests from thrashing the
+  // allocator one element at a time.
+  AlignedBuffer<double> buf;
+  buf.EnsureCapacity(1);
+  EXPECT_GE(buf.capacity() * sizeof(double), simd::kAlignment);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer<double> a;
+  double* p = a.EnsureCapacity(100);
+  p[0] = 42.0;
+  const size_t cap = a.capacity();
+
+  AlignedBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b.capacity(), cap);
+  EXPECT_EQ(b.data()[0], 42.0);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.capacity(), 0u);
+
+  AlignedBuffer<double> c;
+  c.EnsureCapacity(8);  // must be released by the move assignment
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(c.capacity(), cap);
+  EXPECT_EQ(b.data(), nullptr);
+
+  // The moved-from buffer is reusable.
+  EXPECT_NE(a.EnsureCapacity(16), nullptr);
+}
+
+TEST(AlignedBufferTest, DefaultConstructedIsEmpty) {
+  AlignedBuffer<float> buf;
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_EQ(buf.capacity(), 0u);
+}
+
+}  // namespace
+}  // namespace biosim

@@ -35,12 +35,15 @@ namespace {
 std::vector<uint64_t> HashTrajectory(uint32_t num_threads, uint64_t steps,
                                      uint64_t seed = 42,
                                      uint32_t zorder_cadence = 0,
-                                     bool cpu_fast_path = true) {
+                                     bool cpu_fast_path = true,
+                                     bool cpu_simd = false, bool fp32 = false) {
   Param p;
   p.random_seed = seed;
   p.num_threads = num_threads;
   p.zorder_cadence = zorder_cadence;
   p.cpu_fast_path = cpu_fast_path;
+  p.cpu_simd = cpu_simd;
+  p.precision = fp32 ? Precision::kFp32 : Precision::kFp64;
   p.max_bound = 120.0;
   Simulation sim(p);
   // Benchmark-A lattice: diameter 8 with threshold 16 so cells roughly
@@ -88,6 +91,26 @@ TEST(DeterminismTest, FusedPathMatchesCallbackPathBitwise) {
   // harness proves the same on the benchmark-B scenario).
   EXPECT_EQ(HashTrajectory(8, 10, 42, 0, /*cpu_fast_path=*/true),
             HashTrajectory(8, 10, 42, 0, /*cpu_fast_path=*/false));
+}
+
+TEST(DeterminismTest, SimdPathThreadSweepIsBitwiseSelfConsistent) {
+  // The vectorized kernel owes a *tolerance* against the scalar reference
+  // (FMA-contracted distances; docs/determinism.md), but against itself it
+  // owes the full contract: per-agent candidate-order accumulation makes
+  // the trajectory bitwise independent of the worker count and the run.
+  auto reference = HashTrajectory(1, 10, 42, 0, true, /*cpu_simd=*/true);
+  EXPECT_EQ(HashTrajectory(2, 10, 42, 0, true, true), reference);
+  EXPECT_EQ(HashTrajectory(8, 10, 42, 0, true, true), reference);
+  EXPECT_EQ(HashTrajectory(8, 10, 42, 0, true, true), reference);
+}
+
+TEST(DeterminismTest, Fp32PathThreadSweepIsBitwiseSelfConsistent) {
+  // Same self-consistency for the FP32 compute mode (the paper's
+  // Improvement I on the host): narrowed arithmetic, unchanged ordering.
+  auto reference =
+      HashTrajectory(1, 10, 42, 0, true, /*cpu_simd=*/true, /*fp32=*/true);
+  EXPECT_EQ(HashTrajectory(2, 10, 42, 0, true, true, true), reference);
+  EXPECT_EQ(HashTrajectory(8, 10, 42, 0, true, true, true), reference);
 }
 
 TEST(DeterminismTest, RunToRunRepeatIsBitwiseIdentical) {

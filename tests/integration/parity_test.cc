@@ -15,7 +15,7 @@ namespace {
 class ParityHarnessTest : public ::testing::Test {
  protected:
   // One run shared by all assertions: the harness is the expensive part
-  // (nine backends, five steps each).
+  // (eleven backends, five steps each).
   static void SetUpTestSuite() { report_ = new ParityReport(RunParity({})); }
   static void TearDownTestSuite() {
     delete report_;
@@ -43,10 +43,10 @@ TEST_F(ParityHarnessTest, CoversEveryBackend) {
   for (const ParityResult& r : report_->results) {
     names.insert(r.backend);
   }
-  EXPECT_EQ(names, (std::set<std::string>{"ug_serial", "ug_parallel",
-                                          "cpu_fast", "cpu_fast_mt", "kdtree",
-                                          "gpu_v0", "gpu_v1", "gpu_v2",
-                                          "gpu_v3"}));
+  EXPECT_EQ(names, (std::set<std::string>{
+                       "ug_serial", "ug_parallel", "cpu_fast", "cpu_fast_mt",
+                       "cpu_simd", "cpu_fp32", "kdtree", "gpu_v0", "gpu_v1",
+                       "gpu_v2", "gpu_v3"}));
 }
 
 TEST_F(ParityHarnessTest, AllBackendsWithinBounds) {
@@ -77,6 +77,20 @@ TEST_F(ParityHarnessTest, CpuFastPathIsBitwise) {
     EXPECT_EQ(r.max_abs_delta, 0.0) << name;
     EXPECT_EQ(r.final_hash, Result("ug_serial").final_hash) << name;
   }
+}
+
+TEST_F(ParityHarnessTest, SimdRowsOweToleranceNotBitwise) {
+  // The vectorized kernel regroups the per-agent pair sum into lane
+  // partials (physics/simd_force_kernel.h), so it owes a tolerance, not
+  // hashes — and the FP64 SIMD row must sit at summation-order noise,
+  // orders under the FP32 row's bound (same taxonomy as kdtree vs gpu_v1).
+  const ParityResult& simd = Result("cpu_simd");
+  EXPECT_FALSE(simd.bitwise_required);
+  EXPECT_LE(simd.max_abs_delta, 1e-9) << report_->ToString();
+  const ParityResult& fp32 = Result("cpu_fp32");
+  EXPECT_FALSE(fp32.bitwise_required);
+  EXPECT_LE(fp32.max_abs_delta, 2e-2) << report_->ToString();
+  EXPECT_LT(simd.tolerance, fp32.tolerance);
 }
 
 TEST_F(ParityHarnessTest, Fp64BackendsFarTighterThanFp32Bound) {

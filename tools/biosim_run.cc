@@ -1,7 +1,8 @@
 // biosim_run: config-driven simulation runner.
 //
 //   biosim_run [config.ini] [--steps N] [--backend cpu|gpu] [--threads N]
-//              [--cpu-fast-path BOOL] [--zorder-every N] [--print-config]
+//              [--cpu-fast-path BOOL] [--simd BOOL] [--precision fp64|fp32]
+//              [--zorder-every N] [--print-config]
 //              [--sanitize] [--trace FILE] [--metrics FILE]
 //              [--metrics-every N] [--report FILE] [--json]
 //              [--verify-determinism]
@@ -75,7 +76,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s [config.ini] [--steps N] [--backend cpu|gpu] "
-                 "[--threads N] [--cpu-fast-path BOOL] [--zorder-every N] "
+                 "[--threads N] [--cpu-fast-path BOOL] [--simd BOOL] "
+                 "[--precision fp64|fp32] [--zorder-every N] "
                  "[--print-config] [--sanitize] [--trace FILE] "
                  "[--metrics FILE] [--metrics-every N] [--report FILE] "
                  "[--json] [--verify-determinism]\n",
@@ -108,6 +110,10 @@ int main(int argc, char** argv) {
         cfg.num_threads = static_cast<uint32_t>(std::atoll(value.c_str()));
       } else if (FlagValue(argc, argv, &i, "--cpu-fast-path", &value)) {
         cfg.cpu_fast_path = value == "1" || value == "true" || value == "on";
+      } else if (FlagValue(argc, argv, &i, "--simd", &value)) {
+        cfg.simd = value == "1" || value == "true" || value == "on";
+      } else if (FlagValue(argc, argv, &i, "--precision", &value)) {
+        cfg.precision = value;
       } else if (FlagValue(argc, argv, &i, "--zorder-every", &value)) {
         cfg.zorder_every = static_cast<uint64_t>(std::atoll(value.c_str()));
       } else if (FlagValue(argc, argv, &i, "--trace", &value)) {
