@@ -125,6 +125,12 @@ void RunConfig::Validate() const {
   if (metrics_every == 0) {
     fail("metrics_every must be >= 1");
   }
+  if (flight_recorder_depth == 0) {
+    fail("flight_recorder_depth must be >= 1");
+  }
+  if (progress_seconds < 0.0) {
+    fail("progress must be >= 0 seconds");
+  }
 }
 
 RunConfig ParseConfigString(const std::string& text) {
@@ -220,6 +226,20 @@ RunConfig ParseConfigString(const std::string& text) {
       {"metrics_every",
        [&](const std::string& v, size_t l) { cfg.metrics_every = ToU64(v, l); }},
       {"report", [&](const std::string& v, size_t) { cfg.report_path = v; }},
+      {"perf_counters",
+       [&](const std::string& v, size_t l) {
+         cfg.perf_counters = ToBool(v, l);
+       }},
+      {"flight_recorder",
+       [&](const std::string& v, size_t) { cfg.flight_recorder_path = v; }},
+      {"flight_recorder_depth",
+       [&](const std::string& v, size_t l) {
+         cfg.flight_recorder_depth = ToU64(v, l);
+       }},
+      {"progress",
+       [&](const std::string& v, size_t l) {
+         cfg.progress_seconds = ToDouble(v, l);
+       }},
   };
 
   std::istringstream in(text);

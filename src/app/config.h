@@ -39,6 +39,10 @@
 //   metrics = metrics.jsonl       ; per-step metrics snapshots (JSON lines)
 //   metrics_every = 1             ; snapshot cadence in steps
 //   report = report.json          ; machine-readable run report
+//   perf_counters = false         ; per-op hardware counters in the report
+//   flight_recorder = crash.json  ; postmortem ring dump destination
+//   flight_recorder_depth = 64    ; last-N steps kept in the ring
+//   progress = 0                  ; stderr heartbeat every N seconds (0=off)
 //
 // Lines starting with '#' or ';' are comments; keys are section-scoped.
 // Unknown sections/keys are errors (typos should not be silent).
@@ -122,6 +126,20 @@ struct RunConfig {
   uint64_t metrics_every = 1;
   /// Versioned machine-readable run report (obs/report.h); empty disables.
   std::string report_path;
+  /// Sample per-op hardware counters (obs/perf_counters.h) and add the
+  /// "perf_counters" + "roofline" report sections. Off by default (the
+  /// hot loop keeps PERF_SCOPE on its nullptr fast path); degrades to
+  /// `available: false` where perf_event_open is forbidden.
+  bool perf_counters = false;
+  /// Crash flight recorder (obs/flight_recorder.h): dump the last-N-step
+  /// ring to this path on SIGSEGV/SIGABRT/SIGBUS or on a determinism
+  /// divergence. Empty disables (no handlers installed).
+  std::string flight_recorder_path;
+  /// Ring capacity in steps for the flight recorder.
+  uint64_t flight_recorder_depth = 64;
+  /// Print a heartbeat (step, steps/s, ETA, StateHash prefix) to stderr
+  /// every N seconds. 0 disables. Fractional seconds allowed (tests).
+  double progress_seconds = 0.0;
 
   /// Throw std::invalid_argument on out-of-range values.
   void Validate() const;

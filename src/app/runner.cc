@@ -1,19 +1,25 @@
 #include "app/runner.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include <memory>
+#include <vector>
 
 #include "core/checkpoint.h"
 #include "core/export.h"
 #include "core/timer.h"
 #include "core/timeseries.h"
 #include "gpu/gpu_mechanical_op.h"
+#include "obs/flight_recorder.h"
 #include "obs/gpu_trace.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "roofline/cpu_roofline.h"
 #include "spatial/null_environment.h"
 
 namespace biosim::app {
@@ -60,6 +66,58 @@ obs::json::Value ConfigJson(const RunConfig& cfg) {
     v.Set("racy_grid_build", cfg.racy_grid_build);
   }
   return v;
+}
+
+/// The worker count a run actually uses (0 in the config means hardware
+/// concurrency), for environment.worker_threads.
+int ResolvedWorkerThreads(const RunConfig& cfg) {
+  return cfg.num_threads > 0 ? static_cast<int>(cfg.num_threads)
+                             : HardwareThreads();
+}
+
+/// Per-step op wall-time deltas against a previous snapshot of the
+/// cumulative profile. Names point into the profile's stable deque storage.
+std::vector<std::pair<const char*, double>> OpDeltas(
+    const OpProfile& profile, std::vector<double>* prev_totals) {
+  std::vector<std::pair<const char*, double>> deltas;
+  const auto& entries = profile.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    double prev = i < prev_totals->size() ? (*prev_totals)[i] : 0.0;
+    deltas.emplace_back(entries[i].name.c_str(),
+                        entries[i].total_ms() - prev);
+  }
+  prev_totals->resize(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    (*prev_totals)[i] = entries[i].total_ms();
+  }
+  return deltas;
+}
+
+/// Build the flight-recorder summary for the step just completed.
+obs::FlightRecorder::StepRecord MakeStepRecord(
+    const Simulation& sim, double step_wall_ms,
+    std::vector<double>* prev_totals, const obs::CounterSample* delta) {
+  obs::FlightRecorder::StepRecord rec;
+  rec.step = sim.step();
+  rec.state_hash = sim.StateHash();
+  rec.agents = sim.rm().size();
+  rec.substances = sim.diffusion_grid_count();
+  rec.wall_ms = step_wall_ms;
+  rec.op_ms = OpDeltas(const_cast<Simulation&>(sim).profile(), prev_totals);
+  if (delta != nullptr) {
+    rec.has_counters = true;
+    rec.counters = *delta;
+  }
+  return rec;
+}
+
+/// Test hook: BIOSIM_INJECT_DIVERGENCE=<step> makes VerifyDeterminism
+/// report a fabricated hash mismatch at that step of the last comparison
+/// run, exercising the real exit-3 + flight-dump path without needing a
+/// genuinely nondeterministic build. Returns -1 when unset.
+int64_t InjectedDivergenceStep() {
+  const char* v = std::getenv("BIOSIM_INJECT_DIVERGENCE");
+  return v != nullptr ? std::atoll(v) : -1;
 }
 
 }  // namespace
@@ -141,17 +199,61 @@ DeterminismReport VerifyDeterminism(const RunConfig& cfg) {
     runs.push_back(serial);
   }
 
+  int64_t inject_step = InjectedDivergenceStep();
+
   DeterminismReport report;
   report.runs = static_cast<int>(runs.size());
   std::vector<uint64_t> reference = hash_trajectory(runs[0]);
   report.deterministic = true;
   report.final_hash = reference.back();
   for (size_t r = 1; r < runs.size(); ++r) {
-    std::vector<uint64_t> other = hash_trajectory(runs[r]);
+    // Comparison runs step incrementally against the reference so a
+    // divergence stops the run at the offending step — which is exactly
+    // when the flight-recorder ring still ends at that step.
+    auto sim = BuildSimulation(runs[r]);
+    std::unique_ptr<obs::FlightRecorder> flight;
+    std::vector<double> prev_totals;
+    if (!cfg.flight_recorder_path.empty()) {
+      flight = std::make_unique<obs::FlightRecorder>(
+          static_cast<size_t>(cfg.flight_recorder_depth));
+    }
     for (size_t s = 0; s < reference.size(); ++s) {
-      if (other[s] != reference[s]) {
+      Timer step_timer;
+      if (s > 0) {
+        sim->Simulate(1);
+      }
+      uint64_t hash = sim->StateHash();
+      if (inject_step >= 0 && r + 1 == runs.size() &&
+          s == static_cast<size_t>(inject_step)) {
+        hash ^= 1;  // fabricated single-bit divergence (test hook)
+      }
+      if (flight != nullptr) {
+        obs::FlightRecorder::StepRecord rec = MakeStepRecord(
+            *sim, s > 0 ? step_timer.ElapsedMs() : 0.0, &prev_totals,
+            nullptr);
+        rec.state_hash = hash;
+        flight->RecordStep(rec);
+      }
+      if (hash != reference[s]) {
         report.deterministic = false;
         report.first_divergent_step = s;
+        if (flight != nullptr) {
+          obs::json::Value ctx = obs::json::Value::MakeObject();
+          ctx.Set("run", static_cast<uint64_t>(r));
+          ctx.Set("runs", static_cast<uint64_t>(runs.size()));
+          ctx.Set("worker_threads",
+                  static_cast<uint64_t>(runs[r].num_threads));
+          ctx.Set("first_divergent_step", static_cast<uint64_t>(s));
+          char hex[17];
+          std::snprintf(hex, sizeof(hex), "%016llx",
+                        static_cast<unsigned long long>(reference[s]));
+          ctx.Set("expected_hash", hex);
+          std::snprintf(hex, sizeof(hex), "%016llx",
+                        static_cast<unsigned long long>(hash));
+          ctx.Set("actual_hash", hex);
+          flight->Dump(cfg.flight_recorder_path, "determinism-divergence",
+                       &ctx);
+        }
         return report;
       }
     }
@@ -178,6 +280,10 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
 
   auto* gpu_op =
       dynamic_cast<gpu::GpuMechanicalOp*>(&sim->mechanics_backend());
+  auto* cpu_backend =
+      dynamic_cast<CpuMechanicsBackend*>(&sim->mechanics_backend());
+
+  std::unique_ptr<obs::PerfSession> perf;
 
   // Everything observability reads comes from the subsystems' cumulative
   // accounting, so a snapshot is just a fresh registry filled on demand.
@@ -189,7 +295,10 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
     if (DiffusionGrid* grid = sim->diffusion_grid()) {
       obs::CollectDiffusionGrid(*grid, reg);
     }
-    obs::CollectRuntime(reg);
+    obs::CollectRuntime(reg, ResolvedWorkerThreads(cfg));
+    if (perf != nullptr) {
+      obs::CollectPerfSession(perf.get(), reg);
+    }
   };
 
   std::unique_ptr<obs::MetricsJsonlWriter> metrics_out;
@@ -206,21 +315,86 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
     obs::TraceSession::SetCurrent(trace.get());
   }
 
+  // Hardware counters mirror tracing: opt-in, installed for exactly the
+  // stepped run, harmless when the syscall is unavailable (the session
+  // then reports available: false and PERF_SCOPE reads nothing).
+  if (cfg.perf_counters) {
+    perf = std::make_unique<obs::PerfSession>();
+    obs::PerfSession::SetCurrent(perf.get());
+  }
+
+  // The flight recorder keeps the last-N-step ring and owns the crash
+  // handlers for the duration of the run.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  std::vector<double> flight_prev_totals;
+  if (!cfg.flight_recorder_path.empty()) {
+    flight = std::make_unique<obs::FlightRecorder>(
+        static_cast<size_t>(cfg.flight_recorder_depth));
+    flight->InstallSignalHandlers(cfg.flight_recorder_path);
+  }
+
+  // Cumulative force evaluations for the roofline join (CPU backend's
+  // counter is per-call, so accumulate across steps).
+  uint64_t force_evaluations = 0;
+
   Timer t;
+  double last_heartbeat_ms = 0.0;
   for (uint64_t s = 0; s < cfg.steps; ++s) {
     recorder.Record(*sim);
+    obs::CounterSample perf_before;
+    if (flight != nullptr && perf != nullptr && perf->available()) {
+      perf_before = perf->Read();
+    }
+    Timer step_timer;
     sim->Simulate(1);
+    if (cpu_backend != nullptr) {
+      force_evaluations += cpu_backend->last_force_evaluations();
+    }
+    if (flight != nullptr) {
+      obs::CounterSample delta;
+      bool have_delta = perf != nullptr && perf->available();
+      if (have_delta) {
+        delta = perf->Read() - perf_before;
+      }
+      flight->RecordStep(MakeStepRecord(*sim, step_timer.ElapsedMs(),
+                                        &flight_prev_totals,
+                                        have_delta ? &delta : nullptr));
+    }
     if (metrics_out != nullptr &&
         ((s + 1) % cfg.metrics_every == 0 || s + 1 == cfg.steps)) {
       obs::MetricsRegistry snapshot;
       collect(&snapshot);
       require(metrics_out->WriteSnapshot(s + 1, snapshot), cfg.metrics_path);
     }
+    if (cfg.progress_seconds > 0.0) {
+      double elapsed_ms = t.ElapsedMs();
+      if (elapsed_ms - last_heartbeat_ms >= cfg.progress_seconds * 1e3 ||
+          s + 1 == cfg.steps) {
+        last_heartbeat_ms = elapsed_ms;
+        double done = static_cast<double>(s + 1);
+        double steps_per_sec = done / (elapsed_ms / 1e3);
+        double eta_s = elapsed_ms > 0.0
+                           ? (static_cast<double>(cfg.steps) - done) /
+                                 steps_per_sec
+                           : 0.0;
+        std::fprintf(stderr,
+                     "[biosim] step %llu/%llu  %.1f steps/s  eta %.1fs  "
+                     "agents %zu  hash %08llx\n",
+                     static_cast<unsigned long long>(s + 1),
+                     static_cast<unsigned long long>(cfg.steps),
+                     steps_per_sec, eta_s, sim->rm().size(),
+                     static_cast<unsigned long long>(sim->StateHash() >>
+                                                     32));
+      }
+    }
   }
   recorder.Record(*sim);
   summary.wall_ms = t.ElapsedMs();
   if (trace != nullptr) {
     obs::TraceSession::SetCurrent(nullptr);
+  }
+  if (perf != nullptr) {
+    obs::PerfSession::SetCurrent(nullptr);
   }
   summary.final_agents = sim->rm().size();
   summary.profile = sim->profile().ToString();
@@ -246,7 +420,8 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
   {
     obs::MetricsRegistry final_metrics;
     collect(&final_metrics);
-    obs::json::Value report = obs::MakeRunReport("biosim_run");
+    obs::json::Value report =
+        obs::MakeRunReport("biosim_run", ResolvedWorkerThreads(cfg));
     report.Set("config", ConfigJson(cfg));
     obs::json::Value s = obs::json::Value::MakeObject();
     s.Set("steps", cfg.steps);
@@ -268,10 +443,35 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
     }
     report.Set("summary", std::move(s));
     report.Set("metrics", final_metrics.ToJson());
+    if (perf != nullptr) {
+      report.Set("perf_counters", perf->ToJson());
+      // Roofline join: the measured column for fig12, model accounting
+      // from the physics layer, traffic from the LLC-miss counter. Only
+      // the CPU backend has the evaluation-count accounting.
+      if (cpu_backend != nullptr) {
+        std::vector<roofline::OpMeasurement> ops;
+        roofline::OpMeasurement force = roofline::ForceOpMeasurement(
+            sim->profile().TotalMs("mechanical forces"), force_evaluations);
+        if (perf->available()) {
+          if (const obs::PerfSession::OpEntry* e =
+                  perf->Find("mechanical forces")) {
+            force.has_counters = true;
+            force.has_llc = perf->has_llc_misses();
+            force.counters = e->total;
+          }
+        }
+        ops.push_back(std::move(force));
+        report.Set("roofline", roofline::MeasuredRooflineJson(ops));
+      }
+    }
     summary.report_json = report.Dump(2);
     if (!cfg.report_path.empty()) {
       require(obs::WriteReportFile(report, cfg.report_path), cfg.report_path);
     }
+  }
+
+  if (flight != nullptr) {
+    flight->UninstallSignalHandlers();
   }
 
   if (!cfg.timeseries_path.empty()) {

@@ -9,6 +9,7 @@
 #include "core/sim_context.h"
 #include "core/state_hash.h"
 #include "core/timer.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "spatial/uniform_grid.h"
 #include "spatial/zorder_sort.h"
@@ -166,11 +167,13 @@ void Simulation::Simulate(uint64_t steps) {
     TRACE_SCOPE("step");
     {
       TRACE_SCOPE("cell behaviors");
+      PERF_SCOPE("cell behaviors");
       ScopedTimer t(profile_.Hist("cell behaviors"));
       RunBehaviors();
     }
     {
       TRACE_SCOPE("commit");
+      PERF_SCOPE("commit");
       ScopedTimer t(profile_.Hist("commit"));
       rm_.CommitStructuralChanges();
     }
@@ -183,22 +186,26 @@ void Simulation::Simulate(uint64_t steps) {
       // uses the interaction radius — the uniform grid's box size — so the
       // curve orders agents box-by-box.
       TRACE_SCOPE("z-order sort");
+      PERF_SCOPE("z-order sort");
       ScopedTimer t(profile_.Hist("z-order sort"));
       double cell = rm_.LargestDiameter() + param_.interaction_radius_margin;
       SortAgentsByZOrder(rm_, cell, mode_);
     }
     {
       TRACE_SCOPE("neighborhood update");
+      PERF_SCOPE("neighborhood update");
       ScopedTimer t(profile_.Hist("neighborhood update"));
       env_->Update(rm_, param_, mode_);
     }
     {
       TRACE_SCOPE("mechanical forces");
+      PERF_SCOPE("mechanical forces");
       ScopedTimer t(profile_.Hist("mechanical forces"));
       backend_->Step(rm_, *env_, param_, mode_, &profile_);
     }
     if (!diffusion_grids_.empty()) {
       TRACE_SCOPE("diffusion");
+      PERF_SCOPE("diffusion");
       ScopedTimer t(profile_.Hist("diffusion"));
       for (auto& g : diffusion_grids_) {
         g->Step(param_.simulation_time_step, mode_);

@@ -58,6 +58,7 @@ class Simulation {
   /// nullptr if absent.
   DiffusionGrid* diffusion_grid();
   DiffusionGrid* diffusion_grid(const std::string& substance);
+  size_t diffusion_grid_count() const { return diffusion_grids_.size(); }
 
   /// Serial vs multithreaded execution of all engine operations (the paper's
   /// "serial" vs "N threads" variants).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 #include <vector>
 
 #include "core/profiler.h"
@@ -9,6 +10,7 @@
 #include "diffusion/diffusion_grid.h"
 #include "gpusim/device.h"
 #include "gpusim/profiler.h"
+#include "obs/perf_counters.h"
 
 namespace biosim::obs {
 
@@ -173,14 +175,45 @@ void CollectDiffusionGrid(const DiffusionGrid& grid, MetricsRegistry* reg) {
   reg->GetGauge(p + "max_concentration")->Set(grid.MaxConcentration());
 }
 
-void CollectRuntime(MetricsRegistry* reg) {
+void CollectRuntime(MetricsRegistry* reg, int worker_threads) {
+  unsigned hw = std::thread::hardware_concurrency();
   reg->GetGauge("runtime/hardware_threads")
-      ->Set(static_cast<double>(HardwareThreads()));
+      ->Set(static_cast<double>(hw > 0 ? static_cast<int>(hw)
+                                       : HardwareThreads()));
+  reg->GetGauge("runtime/worker_threads")
+      ->Set(static_cast<double>(worker_threads > 0 ? worker_threads
+                                                   : HardwareThreads()));
 #ifdef _OPENMP
   reg->GetGauge("runtime/openmp")->Set(1.0);
 #else
   reg->GetGauge("runtime/openmp")->Set(0.0);
 #endif
+}
+
+void CollectPerfSession(const PerfSession* session, MetricsRegistry* reg) {
+  if (session == nullptr) {
+    return;
+  }
+  reg->GetGauge("perf/available")->Set(session->available() ? 1.0 : 0.0);
+  if (!session->available()) {
+    return;
+  }
+  for (const PerfSession::OpEntry& e : session->entries()) {
+    const std::string prefix = "perf/" + e.name + "/";
+    reg->GetGauge(prefix + "cycles")
+        ->Set(static_cast<double>(e.total.cycles));
+    reg->GetGauge(prefix + "instructions")
+        ->Set(static_cast<double>(e.total.instructions));
+    if (session->has_llc_misses()) {
+      reg->GetGauge(prefix + "llc_misses")
+          ->Set(static_cast<double>(e.total.llc_misses));
+    }
+    if (session->has_branch_misses()) {
+      reg->GetGauge(prefix + "branch_misses")
+          ->Set(static_cast<double>(e.total.branch_misses));
+    }
+    reg->GetGauge(prefix + "ipc")->Set(e.total.Ipc());
+  }
 }
 
 }  // namespace biosim::obs

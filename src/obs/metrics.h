@@ -39,6 +39,8 @@ class Device;
 
 namespace biosim::obs {
 
+class PerfSession;
+
 class Counter {
  public:
   void Add(uint64_t n = 1) { v_ += n; }
@@ -134,9 +136,16 @@ void CollectDevice(const gpusim::Device& dev, MetricsRegistry* reg);
 /// max_concentration}".
 void CollectDiffusionGrid(const DiffusionGrid& grid, MetricsRegistry* reg);
 
-/// Host execution environment: "runtime/hardware_threads",
-/// "runtime/openmp" (0/1).
-void CollectRuntime(MetricsRegistry* reg);
+/// Host execution environment: "runtime/hardware_threads" (machine
+/// concurrency), "runtime/worker_threads" (threads the run actually uses;
+/// defaults to the OpenMP worker count when not passed), "runtime/openmp"
+/// (0/1).
+void CollectRuntime(MetricsRegistry* reg, int worker_threads = 0);
+
+/// Per-op hardware-counter totals from an installed PerfSession:
+/// "perf/<op>/{cycles,instructions,llc_misses,branch_misses,ipc}" plus
+/// "perf/available" (0/1). No-op gauges-wise when `session` is null.
+void CollectPerfSession(const PerfSession* session, MetricsRegistry* reg);
 
 }  // namespace biosim::obs
 

@@ -1,12 +1,21 @@
 #include "obs/report.h"
 
 #include <cstdio>
+#include <thread>
 
 #include "core/thread_pool.h"
 
 namespace biosim::obs {
 
-json::Value EnvironmentJson() {
+int ReportVersionOf(const json::Value& report) {
+  const json::Value* v = report.Find("report_version");
+  if (v == nullptr || !v->is_number()) {
+    return -1;
+  }
+  return static_cast<int>(v->AsDouble());
+}
+
+json::Value EnvironmentJson(int worker_threads) {
   json::Value env = json::Value::MakeObject();
 #if defined(__clang__)
   env.Set("compiler", std::string("clang ") + __clang_version__);
@@ -27,16 +36,23 @@ json::Value EnvironmentJson() {
 #else
   env.Set("openmp", false);
 #endif
-  env.Set("hardware_threads", static_cast<uint64_t>(HardwareThreads()));
+  // v2: hardware_threads is the machine, worker_threads what we use.
+  // (v1 conflated the two by reporting omp_get_max_threads here.)
+  unsigned hw = std::thread::hardware_concurrency();
+  env.Set("hardware_threads",
+          static_cast<uint64_t>(hw > 0 ? hw : HardwareThreads()));
+  env.Set("worker_threads",
+          static_cast<uint64_t>(worker_threads > 0 ? worker_threads
+                                                   : HardwareThreads()));
   env.Set("cxx_standard", static_cast<int64_t>(__cplusplus));
   return env;
 }
 
-json::Value MakeRunReport(const std::string& tool) {
+json::Value MakeRunReport(const std::string& tool, int worker_threads) {
   json::Value report = json::Value::MakeObject();
   report.Set("report_version", kReportVersion);
   report.Set("tool", tool);
-  report.Set("environment", EnvironmentJson());
+  report.Set("environment", EnvironmentJson(worker_threads));
   return report;
 }
 

@@ -4,14 +4,26 @@
 // figure benches, BENCH_gpusim.json — now emits this shape:
 //
 //   {
-//     "report_version": 1,           // bumped on breaking schema changes
+//     "report_version": 2,           // bumped on breaking schema changes
 //     "tool": "<producer>",          // e.g. "biosim_run", "bench_fig8"
 //     "environment": { compiler, build flags, openmp, threads },
-//     ... producer sections: "config", "summary", "metrics", "results" ...
+//     ... producer sections: "config", "summary", "metrics", "results",
+//     ...                    "perf_counters", "roofline" ...
 //   }
 //
 // Version policy (docs/observability.md): additive fields are allowed
 // within a version; removing or re-typing a field bumps report_version.
+//
+// v1 → v2 (this layer's history):
+//   - environment.hardware_threads changed meaning: v1 reported the OpenMP
+//     worker count (ambiguous — BENCH_cpu.json said 1 for parallel runs);
+//     v2 reports the machine's hardware concurrency and adds
+//     environment.worker_threads for the count actually used.
+//   - new optional producer sections: "perf_counters" (per-op hardware
+//     counter deltas from obs/perf_counters.h) and "roofline" (measured vs
+//     analytical-model join from roofline/cpu_roofline.h).
+// Readers must accept both versions; IsSupportedReportVersion is the
+// gate (scripts/validate_obs.py applies the same policy to artifacts).
 #ifndef BIOSIM_OBS_REPORT_H_
 #define BIOSIM_OBS_REPORT_H_
 
@@ -21,15 +33,29 @@
 
 namespace biosim::obs {
 
-/// Current report schema version.
-inline constexpr int kReportVersion = 1;
+/// Current report schema version (written by MakeRunReport).
+inline constexpr int kReportVersion = 2;
+/// Oldest version readers still accept.
+inline constexpr int kMinSupportedReportVersion = 1;
+
+/// True for versions a reader of this build must accept.
+inline constexpr bool IsSupportedReportVersion(int v) {
+  return v >= kMinSupportedReportVersion && v <= kReportVersion;
+}
+
+/// Reads "report_version" from a parsed report; returns -1 when the field
+/// is missing or not a number (pre-versioning documents).
+int ReportVersionOf(const json::Value& report);
 
 /// Compiler / build / runtime facts, for reproducing a measurement.
-json::Value EnvironmentJson();
+/// `worker_threads` is the number of threads the producer actually uses
+/// (0 = unknown/not applicable, field omitted); hardware_threads is always
+/// the machine's concurrency.
+json::Value EnvironmentJson(int worker_threads = 0);
 
 /// A report skeleton: report_version + tool + environment. Producers add
 /// their own sections and Dump it.
-json::Value MakeRunReport(const std::string& tool);
+json::Value MakeRunReport(const std::string& tool, int worker_threads = 0);
 
 /// Write `report` to `path` (pretty-printed, trailing newline). Returns
 /// false on I/O failure.

@@ -1,0 +1,145 @@
+// Hardware-counter layer contract: graceful degradation, the null
+// backend, session installation semantics, and sample arithmetic. Real
+// counter values cannot be asserted portably (CI containers commonly
+// forbid perf_event_open), so the tests pin the behavior that must hold
+// on EVERY host: never crash, never lie about availability, zero-delta
+// reads when unavailable, and well-formed JSON either way.
+#include "obs/perf_counters.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+namespace biosim::obs {
+namespace {
+
+TEST(CounterSample, SubtractClampsAndAccumulates) {
+  CounterSample a;
+  a.cycles = 100;
+  a.instructions = 250;
+  a.llc_misses = 5;
+  a.task_clock_ns = 50;
+  CounterSample b;
+  b.cycles = 40;
+  b.instructions = 50;
+  b.llc_misses = 9;  // counter went backwards (multiplex glitch)
+  CounterSample d = a - b;
+  EXPECT_EQ(d.cycles, 60u);
+  EXPECT_EQ(d.instructions, 200u);
+  EXPECT_EQ(d.llc_misses, 0u) << "negative deltas must clamp, not wrap";
+
+  CounterSample total;
+  total.Accumulate(d);
+  total.Accumulate(d);
+  EXPECT_EQ(total.cycles, 120u);
+  EXPECT_EQ(total.instructions, 400u);
+}
+
+TEST(CounterSample, DerivedRates) {
+  CounterSample s;
+  s.cycles = 1000;
+  s.instructions = 2500;
+  s.task_clock_ns = 500;
+  s.time_enabled_ns = 100;
+  s.time_running_ns = 50;
+  EXPECT_DOUBLE_EQ(s.Ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(s.EffectiveGhz(), 2.0);
+  EXPECT_DOUBLE_EQ(s.RunningFraction(), 0.5);
+
+  CounterSample zero;
+  EXPECT_DOUBLE_EQ(zero.Ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.EffectiveGhz(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.RunningFraction(), 1.0) << "no data = no multiplex";
+}
+
+TEST(PerfSession, ForcedNullBackendNeverCrashes) {
+  ::setenv("BIOSIM_PERF", "off", 1);
+  {
+    PerfSession session;
+    EXPECT_FALSE(session.available());
+    EXPECT_EQ(session.unavailable_reason(), "disabled by BIOSIM_PERF=off");
+
+    // Reads are zero deltas, accumulation still works structurally.
+    CounterSample s = session.Read();
+    EXPECT_EQ(s.cycles, 0u);
+    EXPECT_EQ(s.instructions, 0u);
+
+    PerfSession::SetCurrent(&session);
+    {
+      PERF_SCOPE("noop op");  // must not record: session unavailable
+    }
+    PerfSession::SetCurrent(nullptr);
+    EXPECT_TRUE(session.entries().empty());
+
+    json::Value v = session.ToJson();
+    const json::Value* available = v.Find("available");
+    ASSERT_NE(available, nullptr);
+    EXPECT_FALSE(available->AsBool());
+    const json::Value* reason = v.Find("reason");
+    ASSERT_NE(reason, nullptr);
+    EXPECT_FALSE(reason->AsString().empty());
+  }
+  ::unsetenv("BIOSIM_PERF");
+}
+
+TEST(PerfSession, WhateverTheHostGivesIsReportedHonestly) {
+  // On a counter-capable host this exercises the real backend; on a
+  // restricted host (containers, perf_event_paranoid > 2, no PMU) it
+  // exercises degradation. Both must produce a consistent session.
+  PerfSession session;
+  if (session.available()) {
+    EXPECT_TRUE(session.unavailable_reason().empty());
+    PerfSession::SetCurrent(&session);
+    {
+      PERF_SCOPE("spin");
+      volatile uint64_t sink = 0;
+      for (int i = 0; i < 100000; ++i) {
+        sink += static_cast<uint64_t>(i);
+      }
+    }
+    PerfSession::SetCurrent(nullptr);
+    ASSERT_EQ(session.entries().size(), 1u);
+    const PerfSession::OpEntry* e = session.Find("spin");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->samples, 1u);
+    EXPECT_GT(e->total.cycles, 0u);
+    EXPECT_GT(e->total.instructions, 0u);
+    json::Value v = session.ToJson();
+    ASSERT_NE(v.Find("ops"), nullptr);
+    ASSERT_NE(v.Find("ops")->Find("spin"), nullptr);
+  } else {
+    EXPECT_FALSE(session.unavailable_reason().empty())
+        << "unavailable sessions must say why";
+    CounterSample s = session.Read();
+    EXPECT_EQ(s.cycles, 0u);
+  }
+}
+
+TEST(PerfScope, NoSessionIsAFastNoOp) {
+  ASSERT_EQ(PerfSession::current(), nullptr);
+  // The contract TRACE_SCOPE also honors: no session, no effect. This
+  // must not touch any syscall (asserted by not crashing under the
+  // restrictive default container policy).
+  for (int i = 0; i < 1000; ++i) {
+    PERF_SCOPE("unobserved");
+  }
+}
+
+TEST(PerfSession, AccumulateGroupsByName) {
+  PerfSession session;  // availability irrelevant: Accumulate is direct
+  CounterSample d;
+  d.cycles = 10;
+  d.instructions = 20;
+  session.Accumulate("a", d);
+  session.Accumulate("b", d);
+  session.Accumulate("a", d);
+  ASSERT_EQ(session.entries().size(), 2u);
+  EXPECT_EQ(session.entries()[0].name, "a");
+  EXPECT_EQ(session.entries()[0].samples, 2u);
+  EXPECT_EQ(session.entries()[0].total.cycles, 20u);
+  EXPECT_EQ(session.entries()[1].name, "b");
+  EXPECT_EQ(session.entries()[1].samples, 1u);
+}
+
+}  // namespace
+}  // namespace biosim::obs

@@ -1,0 +1,94 @@
+// Report version contract: v2 skeleton shape, the v1/v2 reader policy,
+// and the environment thread-capture fix (hardware vs worker threads).
+#include "obs/report.h"
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+
+namespace biosim::obs {
+namespace {
+
+// A frozen v1 document as produced before the bump (BENCH_cpu.json shape):
+// hardware_threads then meant "OpenMP workers" and worker_threads did not
+// exist. Readers must still accept it.
+constexpr const char* kV1Fixture = R"({
+  "report_version": 1,
+  "tool": "bench_micro_force",
+  "environment": {
+    "compiler": "gcc 12.2.0",
+    "assertions": false,
+    "openmp": true,
+    "hardware_threads": 1,
+    "cxx_standard": 202002
+  },
+  "bench": "bench_micro_force"
+})";
+
+TEST(Report, VersionConstantsAndPolicy) {
+  EXPECT_EQ(kReportVersion, 2);
+  EXPECT_EQ(kMinSupportedReportVersion, 1);
+  EXPECT_TRUE(IsSupportedReportVersion(1));
+  EXPECT_TRUE(IsSupportedReportVersion(2));
+  EXPECT_FALSE(IsSupportedReportVersion(0));
+  EXPECT_FALSE(IsSupportedReportVersion(3));
+}
+
+TEST(Report, V1FixtureIsStillReadable) {
+  std::string err;
+  std::unique_ptr<json::Value> doc = json::Parse(kV1Fixture, &err);
+  ASSERT_NE(doc, nullptr) << err;
+  int version = ReportVersionOf(*doc);
+  EXPECT_EQ(version, 1);
+  EXPECT_TRUE(IsSupportedReportVersion(version));
+  // v1 lacks worker_threads — a reader must tolerate that.
+  const json::Value* env = doc->Find("environment");
+  ASSERT_NE(env, nullptr);
+  EXPECT_EQ(env->Find("worker_threads"), nullptr);
+  EXPECT_NE(env->Find("hardware_threads"), nullptr);
+}
+
+TEST(Report, VersionOfHandlesMissingAndMalformed) {
+  json::Value no_version = json::Value::MakeObject();
+  EXPECT_EQ(ReportVersionOf(no_version), -1);
+  no_version.Set("report_version", "two");
+  EXPECT_EQ(ReportVersionOf(no_version), -1);
+}
+
+TEST(Report, V2SkeletonRoundTrip) {
+  json::Value report = MakeRunReport("unit_test", 3);
+  report.Set("results", [] {
+    json::Value r = json::Value::MakeObject();
+    r.Set("answer", 42);
+    return r;
+  }());
+
+  std::string dumped = report.Dump(2);
+  std::string err;
+  std::unique_ptr<json::Value> parsed = json::Parse(dumped, &err);
+  ASSERT_NE(parsed, nullptr) << err;
+
+  EXPECT_EQ(ReportVersionOf(*parsed), kReportVersion);
+  EXPECT_EQ(parsed->Find("tool")->AsString(), "unit_test");
+  const json::Value* env = parsed->Find("environment");
+  ASSERT_NE(env, nullptr);
+  // The v2 thread-capture contract: both fields present, worker_threads
+  // echoes what the producer passed, hardware_threads is machine-wide
+  // (>= 1 everywhere).
+  ASSERT_NE(env->Find("hardware_threads"), nullptr);
+  ASSERT_NE(env->Find("worker_threads"), nullptr);
+  EXPECT_GE(env->Find("hardware_threads")->AsDouble(), 1.0);
+  EXPECT_EQ(env->Find("worker_threads")->AsDouble(), 3.0);
+  EXPECT_EQ(parsed->Find("results")->Find("answer")->AsDouble(), 42.0);
+}
+
+TEST(Report, DefaultWorkerThreadsFallsBackToRuntime) {
+  json::Value env = EnvironmentJson();
+  ASSERT_NE(env.Find("worker_threads"), nullptr);
+  EXPECT_GE(env.Find("worker_threads")->AsDouble(), 1.0);
+}
+
+}  // namespace
+}  // namespace biosim::obs

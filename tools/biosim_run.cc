@@ -5,6 +5,8 @@
 //              [--zorder-every N] [--print-config]
 //              [--sanitize] [--trace FILE] [--metrics FILE]
 //              [--metrics-every N] [--report FILE] [--json]
+//              [--perf-counters] [--flight-recorder FILE]
+//              [--flight-recorder-depth N] [--progress SEC]
 //              [--verify-determinism]
 //
 // See src/app/config.h for the config format; examples/configs/ ships
@@ -21,7 +23,9 @@
 // hashes the full simulation state after every step, and compares the hash
 // sequences bitwise (docs/determinism.md). Prints the final state hash and
 // exits 0 when all runs are identical, 3 when they diverge. No configured
-// outputs are written in this mode.
+// outputs are written in this mode, except that with --flight-recorder FILE
+// a divergence dumps the last-N-step ring of the diverging run (reason
+// "determinism-divergence", with expected/actual hashes) before exiting 3.
 //
 // Observability (docs/observability.md):
 //   --trace FILE          Chrome/Perfetto trace of the run (host spans +
@@ -31,6 +35,18 @@
 //   --report FILE         versioned machine-readable run report
 //   --json                print the run report to stdout instead of the
 //                         human-readable summary
+//   --perf-counters       sample per-op hardware counters (perf_event_open)
+//                         into the report's "perf_counters" + "roofline"
+//                         sections; degrades to available:false where the
+//                         syscall is forbidden (docs/observability.md)
+//   --flight-recorder FILE
+//                         keep a ring of the last N step summaries and dump
+//                         it to FILE on SIGSEGV/SIGABRT/SIGBUS or on a
+//                         --verify-determinism divergence
+//   --flight-recorder-depth N
+//                         ring capacity in steps (default 64)
+//   --progress SEC        heartbeat on stderr every SEC seconds: step,
+//                         steps/s, ETA, agent count, StateHash prefix
 //
 // --sanitize runs every GPU launch under the compute-sanitizer-style
 // analysis layer (requires backend type gpu) and prints its report. Exit
@@ -80,7 +96,9 @@ int main(int argc, char** argv) {
                  "[--precision fp64|fp32] [--zorder-every N] "
                  "[--print-config] [--sanitize] [--trace FILE] "
                  "[--metrics FILE] [--metrics-every N] [--report FILE] "
-                 "[--json] [--verify-determinism]\n",
+                 "[--json] [--perf-counters] [--flight-recorder FILE] "
+                 "[--flight-recorder-depth N] [--progress SEC] "
+                 "[--verify-determinism]\n",
                  argv[0]);
     return 1;
   }
@@ -124,6 +142,16 @@ int main(int argc, char** argv) {
         cfg.metrics_path = value;
       } else if (FlagValue(argc, argv, &i, "--report", &value)) {
         cfg.report_path = value;
+      } else if (FlagValue(argc, argv, &i, "--flight-recorder-depth",
+                           &value)) {
+        cfg.flight_recorder_depth =
+            static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else if (FlagValue(argc, argv, &i, "--flight-recorder", &value)) {
+        cfg.flight_recorder_path = value;
+      } else if (FlagValue(argc, argv, &i, "--progress", &value)) {
+        cfg.progress_seconds = std::atof(value.c_str());
+      } else if (std::strcmp(argv[i], "--perf-counters") == 0) {
+        cfg.perf_counters = true;
       } else if (std::strcmp(argv[i], "--json") == 0) {
         json_output = true;
       } else if (std::strcmp(argv[i], "--print-config") == 0) {
