@@ -76,6 +76,19 @@ void RunConfig::Validate() const {
     fail("zorder_every is a CPU-path knob (GPU versions 2+ already Z-order "
          "sort on the device)");
   }
+  if (overlap_ops && backend_type == "gpu") {
+    fail("overlap_ops is a CPU-pipeline knob (the GPU backend schedules its "
+         "own kernel stream)");
+  }
+  if (substance_resolution == 1) {
+    fail("substance_resolution must be 0 (no substance) or >= 2");
+  }
+  if (substance_diffusion < 0.0 || substance_decay < 0.0) {
+    fail("substance_diffusion and substance_decay must be non-negative");
+  }
+  if (secretion_rate != 0.0 && substance_resolution == 0) {
+    fail("secretion_rate needs a substance grid (set substance_resolution)");
+  }
   if (precision != "fp64" && precision != "fp32") {
     fail("precision must be fp64 or fp32, got '" + precision + "'");
   }
@@ -168,6 +181,14 @@ RunConfig ParseConfigString(const std::string& text) {
        [&](const std::string& v, size_t l) {
          cfg.zorder_every = ToU64(v, l);
        }},
+      {"incremental_grid",
+       [&](const std::string& v, size_t l) {
+         cfg.incremental_grid = ToBool(v, l);
+       }},
+      {"overlap_ops",
+       [&](const std::string& v, size_t l) {
+         cfg.overlap_ops = ToBool(v, l);
+       }},
   };
   schema["model"] = {
       {"type", [&](const std::string& v, size_t) { cfg.model_type = v; }},
@@ -190,6 +211,22 @@ RunConfig ParseConfigString(const std::string& text) {
       {"growth_rate",
        [&](const std::string& v, size_t l) {
          cfg.growth_rate = ToDouble(v, l);
+       }},
+      {"substance_resolution",
+       [&](const std::string& v, size_t l) {
+         cfg.substance_resolution = static_cast<size_t>(ToU64(v, l));
+       }},
+      {"substance_diffusion",
+       [&](const std::string& v, size_t l) {
+         cfg.substance_diffusion = ToDouble(v, l);
+       }},
+      {"substance_decay",
+       [&](const std::string& v, size_t l) {
+         cfg.substance_decay = ToDouble(v, l);
+       }},
+      {"secretion_rate",
+       [&](const std::string& v, size_t l) {
+         cfg.secretion_rate = ToDouble(v, l);
        }},
   };
   schema["backend"] = {

@@ -11,6 +11,8 @@
 //   simd = false                  ; vectorize the fused kernel (docs/perf.md)
 //   precision = fp64              ; fp64 | fp32 force-kernel pair math
 //   zorder_every = 0              ; re-sort agents into Z-order every N steps
+//   incremental_grid = true       ; patch the uniform grid instead of rebuilding
+//   overlap_ops = false           ; overlap mechanics and diffusion (CPU only)
 //
 //   [model]
 //   type = cell_division          ; cell_division | random_cloud
@@ -20,6 +22,10 @@
 //   diameter = 8
 //   divide_threshold = 16
 //   growth_rate = 40000
+//   substance_resolution = 0      ; attach an "oxygen" grid with res^3 voxels (0=off)
+//   substance_diffusion = 50      ; D in µm²/h
+//   substance_decay = 0           ; mu in 1/h
+//   secretion_rate = 0            ; per-agent Secretion("oxygen", rate); 0=off
 //
 //   [backend]
 //   type = cpu                    ; cpu | gpu
@@ -84,6 +90,16 @@ struct RunConfig {
   /// Re-sort agents into Z-order every N steps on the CPU pipeline
   /// (0 = never). Cache-locality knob; permutes rows uid-stably.
   uint64_t zorder_every = 0;
+  /// Maintain the uniform grid incrementally: re-bin only agents that
+  /// crossed a box boundary, falling back to a full rebuild whenever the
+  /// grid shape/bounds/population changed. Byte-identical results
+  /// (Param::incremental_grid) — the knob only trades speed, kept here so
+  /// the CI determinism sweep can exercise both paths.
+  bool incremental_grid = true;
+  /// Overlap mechanics and diffusion as a two-node task graph
+  /// (Param::overlap_ops). CPU backend only; bitwise-neutral; no-op
+  /// without a substance grid.
+  bool overlap_ops = false;
 
   // [model]
   std::string model_type = "cell_division";
@@ -93,6 +109,18 @@ struct RunConfig {
   double diameter = 8.0;
   double divide_threshold = 16.0;
   double growth_rate = 40000.0;
+  /// Attach one "oxygen" DiffusionGrid with this resolution per axis
+  /// (0 disables — the historical default: no substances). Needed to give
+  /// overlap_ops a diffusion op to overlap from the CLI.
+  size_t substance_resolution = 0;
+  /// Diffusion coefficient D (µm²/h) of the attached substance.
+  double substance_diffusion = 50.0;
+  /// Decay constant mu (1/h) of the attached substance.
+  double substance_decay = 0.0;
+  /// If nonzero, attach Secretion("oxygen", rate) to every initial agent
+  /// (concentration units per hour; negative = consumption). Requires
+  /// substance_resolution > 0.
+  double secretion_rate = 0.0;
 
   // [backend]
   std::string backend_type = "cpu";

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/behaviors/secretion.h"
 #include "core/checkpoint.h"
 #include "core/export.h"
 #include "core/timer.h"
@@ -21,6 +22,7 @@
 #include "obs/trace.h"
 #include "roofline/cpu_roofline.h"
 #include "spatial/null_environment.h"
+#include "spatial/uniform_grid.h"
 
 namespace biosim::app {
 
@@ -46,6 +48,8 @@ obs::json::Value ConfigJson(const RunConfig& cfg) {
   v.Set("simd", cfg.simd);
   v.Set("precision", cfg.precision);
   v.Set("zorder_every", cfg.zorder_every);
+  v.Set("incremental_grid", cfg.incremental_grid);
+  v.Set("overlap_ops", cfg.overlap_ops);
   v.Set("model_type", cfg.model_type);
   if (cfg.model_type == "cell_division") {
     v.Set("cells_per_dim", cfg.cells_per_dim);
@@ -56,6 +60,12 @@ obs::json::Value ConfigJson(const RunConfig& cfg) {
     v.Set("density", cfg.density);
   }
   v.Set("diameter", cfg.diameter);
+  if (cfg.substance_resolution > 0) {
+    v.Set("substance_resolution", cfg.substance_resolution);
+    v.Set("substance_diffusion", cfg.substance_diffusion);
+    v.Set("substance_decay", cfg.substance_decay);
+    v.Set("secretion_rate", cfg.secretion_rate);
+  }
   v.Set("backend_type", cfg.backend_type);
   if (cfg.backend_type == "gpu") {
     v.Set("gpu_version", cfg.gpu_version);
@@ -133,6 +143,8 @@ std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
   param.precision =
       cfg.precision == "fp32" ? Precision::kFp32 : Precision::kFp64;
   param.zorder_cadence = static_cast<uint32_t>(cfg.zorder_every);
+  param.incremental_grid = cfg.incremental_grid;
+  param.overlap_ops = cfg.overlap_ops;
   param.simulation_time_step = cfg.timestep;
   param.simulation_max_displacement = cfg.max_displacement;
   param.min_bound = 0.0;
@@ -156,6 +168,22 @@ std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
                           cfg.growth_rate);
   } else {
     sim->CreateRandomCells(cfg.agents, cfg.diameter);
+  }
+
+  if (cfg.substance_resolution > 0) {
+    // One extracellular substance spanning the (possibly density-derived)
+    // simulation cube; gives overlap_ops a diffusion op to run against.
+    sim->AddDiffusionGrid(std::make_unique<DiffusionGrid>(
+        "oxygen", sim->param().min_bound, sim->param().max_bound,
+        cfg.substance_resolution, cfg.substance_diffusion,
+        cfg.substance_decay));
+    if (cfg.secretion_rate != 0.0) {
+      for (size_t i = 0; i < sim->rm().size(); ++i) {
+        sim->rm().AttachBehavior(static_cast<AgentIndex>(i),
+                                 std::make_unique<Secretion>(
+                                     "oxygen", cfg.secretion_rate));
+      }
+    }
   }
 
   if (cfg.backend_type == "gpu") {
@@ -294,6 +322,10 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
     }
     if (DiffusionGrid* grid = sim->diffusion_grid()) {
       obs::CollectDiffusionGrid(*grid, reg);
+    }
+    if (const auto* ug = dynamic_cast<const UniformGridEnvironment*>(
+            &sim->environment())) {
+      obs::CollectUniformGrid(*ug, reg);
     }
     obs::CollectRuntime(reg, ResolvedWorkerThreads(cfg));
     if (perf != nullptr) {

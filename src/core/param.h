@@ -103,6 +103,29 @@ struct Param {
   /// cpu_fp32 parity bound of 2e-2, mirroring the FP32 GPU rows.
   Precision precision = Precision::kFp64;
 
+  /// Maintain the uniform grid incrementally (spatial/uniform_grid.h): when
+  /// the grid geometry and population are unchanged since the previous
+  /// step, only agents that crossed a box boundary are re-binned and the
+  /// CSR is re-derived from the patched occupancy. Byte-identical to a full
+  /// rebuild by construction (property-tested in
+  /// tests/spatial/incremental_grid_test.cc), with an automatic full-rebuild
+  /// fallback when the grid shape, bounds or population changed — so this
+  /// knob only trades speed, never results. Ignored by non-grid
+  /// environments.
+  bool incremental_grid = true;
+
+  /// Run mechanical forces and substance diffusion as a two-node task graph
+  /// (core/thread_pool.h TaskGraph) instead of back-to-back: once the
+  /// behaviors pass's deposit merge has retired, mechanics touches only
+  /// positions/grid while diffusion touches only concentration fields, so
+  /// the two may overlap. Bitwise-neutral (each op runs unchanged, exactly
+  /// once; docs/determinism.md) and gated by the thread-sweep determinism
+  /// test. CPU pipeline only — the runner's config validation enforces
+  /// backend cpu — and a no-op without diffusion grids. Off by default:
+  /// per-op hardware-counter attribution collapses into one combined
+  /// "mechanics+diffusion" scope while overlapped.
+  bool overlap_ops = false;
+
   /// Re-sort agents into Z-order (spatial/zorder_sort.h) every N steps of
   /// the CPU pipeline; 0 disables. The paper's Improvement II applied to
   /// host cache locality: spatially adjacent agents become memory-adjacent,

@@ -8,6 +8,8 @@
 #define BIOSIM_CORE_SIM_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/math.h"
@@ -19,11 +21,14 @@ namespace biosim {
 
 class DiffusionGrid;
 
-/// A substance deposit requested by a behavior, to be applied to the
-/// context's diffusion grid after the (possibly parallel) behaviors pass.
+/// A substance deposit requested by a behavior, to be applied after the
+/// (possibly parallel) behaviors pass. Carries its target grid: deposits
+/// buffered for different substances must not be collapsed into one field
+/// (the pre-fix merge routed every deposit into the *first* grid).
 struct PendingDeposit {
   Double3 position;
   double amount;
+  DiffusionGrid* grid = nullptr;
 };
 
 class SimContext {
@@ -41,14 +46,24 @@ class SimContext {
     return Random::ForStream(param_.random_seed, uid, step_);
   }
 
-  /// Deposit `amount` of the context's substance into the voxel containing
-  /// `pos`. When a deposit sink is installed (Simulation::RunBehaviors does
-  /// this), the deposit is buffered and applied after the behaviors pass in
-  /// agent-index order — the same order at any thread count, so the
-  /// concentration field stays bitwise reproducible. Without a sink (direct
-  /// serial use, unit tests) the deposit applies immediately. No-op when no
-  /// diffusion grid is attached.
+  /// Deposit `amount` of the context's default substance (the first grid)
+  /// into the voxel containing `pos`. When a deposit sink is installed
+  /// (Simulation::RunBehaviors does this), the deposit is buffered and
+  /// applied after the behaviors pass in agent-index order — the same order
+  /// at any thread count, so the concentration field stays bitwise
+  /// reproducible. Without a sink (direct serial use, unit tests) the
+  /// deposit applies immediately. No-op when no diffusion grid is attached.
   void DepositSubstance(const Double3& pos, double amount);
+
+  /// Deposit into an explicit grid (resolve named substances with
+  /// FindSubstance); same buffering contract as above. No-op when `grid` is
+  /// nullptr, matching a grid-less context.
+  void DepositSubstance(const Double3& pos, double amount,
+                        DiffusionGrid* grid);
+
+  /// The registered grid for `name`, or nullptr when absent (or when the
+  /// context has no grid list installed).
+  DiffusionGrid* FindSubstance(const std::string& name) const;
 
   /// Extracellular substance grid, if the model registered one (may be
   /// nullptr; set by the Simulation before behaviors run). Reads
@@ -57,6 +72,11 @@ class SimContext {
   /// against concurrent callers and would make the sum order (and therefore
   /// the field bits) depend on thread scheduling.
   DiffusionGrid* diffusion_grid = nullptr;
+
+  /// Every registered substance grid (set by the Simulation alongside
+  /// diffusion_grid); backs FindSubstance for name-routed deposits. May be
+  /// nullptr for contexts built without a Simulation (unit tests).
+  const std::vector<std::unique_ptr<DiffusionGrid>>* diffusion_grids = nullptr;
 
   /// Deferred-deposit sink (owned by the caller running the behaviors pass;
   /// one per worker chunk). Installed/cleared by Simulation::RunBehaviors.

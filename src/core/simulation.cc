@@ -19,16 +19,33 @@ namespace biosim {
 // Defined here rather than in a sim_context.cc so the engine layer (which
 // already links biosim_diffusion) owns the dependency on DiffusionGrid.
 void SimContext::DepositSubstance(const Double3& pos, double amount) {
-  if (diffusion_grid == nullptr) {
+  DepositSubstance(pos, amount, diffusion_grid);
+}
+
+void SimContext::DepositSubstance(const Double3& pos, double amount,
+                                  DiffusionGrid* grid) {
+  if (grid == nullptr) {
     return;
   }
   if (deposit_sink != nullptr) {
-    deposit_sink->push_back({pos, amount});
+    deposit_sink->push_back({pos, amount, grid});
     return;
   }
   // Direct-apply fallback for serial use without an installed sink; this is
   // one of the two sanctioned call sites of the raw field write.
-  diffusion_grid->IncreaseConcentrationBy(pos, amount);  // biosim-lint: allow(direct-deposit)
+  grid->IncreaseConcentrationBy(pos, amount);  // biosim-lint: allow(direct-deposit)
+}
+
+DiffusionGrid* SimContext::FindSubstance(const std::string& name) const {
+  if (diffusion_grids == nullptr) {
+    return nullptr;
+  }
+  for (const auto& g : *diffusion_grids) {
+    if (g->substance_name() == name) {
+      return g.get();
+    }
+  }
+  return nullptr;
 }
 
 Simulation::Simulation(Param param)
@@ -94,7 +111,12 @@ void Simulation::Create3DCellGrid(size_t cells_per_dim, double spacing,
 }
 
 void Simulation::CreateRandomCells(size_t count, double diameter) {
-  Random rng(param_.random_seed);
+  // Each call gets its own seed-derived stream; a second fill used to reuse
+  // the first call's stream and stack every new cell onto an existing one.
+  // Call 0 keeps the historical positions byte-identical.
+  const uint64_t call = random_cells_calls_++;
+  Random rng(call == 0 ? param_.random_seed
+                       : SplitMix64::Mix(param_.random_seed + call));
   rm_.Reserve(rm_.size() + count);
   for (size_t i = 0; i < count; ++i) {
     AddCell(rng.UniformInCube(param_.min_bound, param_.max_bound), diameter);
@@ -121,6 +143,7 @@ void Simulation::RunBehaviors() {
     TRACE_SCOPE("behaviors chunk");
     SimContext ctx(param_, rm_, step_);
     ctx.diffusion_grid = diffusion_grid();
+    ctx.diffusion_grids = &diffusion_grids_;
     std::vector<PendingDeposit> deposits;
     ctx.deposit_sink = &deposits;
     for (size_t i = begin; i < end; ++i) {
@@ -141,13 +164,15 @@ void Simulation::RunBehaviors() {
   if (!deposit_chunks.empty()) {
     std::sort(deposit_chunks.begin(), deposit_chunks.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    DiffusionGrid* grid = diffusion_grid();
     for (const auto& [begin, deposits] : deposit_chunks) {
       (void)begin;
       for (const PendingDeposit& d : deposits) {
         // The serial chunk-ordered merge: the other sanctioned raw-write
-        // site (docs/determinism.md).
-        grid->IncreaseConcentrationBy(d.position, d.amount);  // biosim-lint: allow(direct-deposit)
+        // site (docs/determinism.md). Each deposit carries its target grid
+        // (the old code collapsed every substance into the first grid), and
+        // each grid still receives its own deposits in global agent-index
+        // order — a subsequence of an ordered stream stays ordered.
+        d.grid->IncreaseConcentrationBy(d.position, d.amount);  // biosim-lint: allow(direct-deposit)
       }
     }
   }
@@ -163,6 +188,18 @@ uint64_t Simulation::StateHash() const {
 }
 
 void Simulation::Simulate(uint64_t steps) {
+  const bool overlap = param_.overlap_ops && !diffusion_grids_.empty();
+  if (overlap) {
+    // Pre-create every op histogram the overlapped nodes will touch:
+    // OpProfile::Hist mutates its name->index map on first use, and the
+    // diffusion node runs on a spawned thread. Creating the entries here —
+    // before any fork — makes the later lookups read-only. (The deque
+    // storage keeps Histogram addresses stable.)
+    profile_.Hist("z-order sort");
+    profile_.Hist("neighborhood update");
+    profile_.Hist("mechanical forces");
+    profile_.Hist("diffusion");
+  }
   for (uint64_t s = 0; s < steps; ++s) {
     TRACE_SCOPE("step");
     {
@@ -176,6 +213,11 @@ void Simulation::Simulate(uint64_t steps) {
       PERF_SCOPE("commit");
       ScopedTimer t(profile_.Hist("commit"));
       rm_.CommitStructuralChanges();
+    }
+    if (overlap) {
+      RunOverlappedOps();
+      ++step_;
+      continue;
     }
     if (param_.zorder_cadence > 0 && !rm_.empty() &&
         step_ % param_.zorder_cadence == 0) {
@@ -213,6 +255,58 @@ void Simulation::Simulate(uint64_t steps) {
     }
     ++step_;
   }
+}
+
+void Simulation::RunOverlappedOps() {
+  // One combined perf scope on the calling thread: PerfSession counters are
+  // per-opening-thread and not safe to nest from spawned threads, so while
+  // overlapped the per-op hardware attribution collapses into this scope
+  // (param.h documents the trade). Trace scopes ARE per-thread-safe and stay
+  // inside the node bodies — the timeline shows the two ops as overlapping
+  // tracks. Mechanics touches positions + the spatial index; diffusion
+  // touches only the concentration fields (the behaviors pass's deposit
+  // merge retired before this fork) — disjoint state, so overlap is
+  // bitwise-neutral (docs/determinism.md).
+  PERF_SCOPE("mechanics+diffusion");
+  // On a single hardware thread overlap cannot win — the two node bodies
+  // would time-slice one core while paying a thread spawn per step — so run
+  // the graph serially there. Bitwise-identical either way (TaskGraph
+  // contract), purely a cost decision.
+  const ExecMode graph_mode =
+      HardwareThreads() > 1 ? mode_ : ExecMode::kSerial;
+  TaskGraph graph;
+  graph.AddNode("mechanics", [this] {
+    // A fresh native thread starts from the global OpenMP ICVs, not the
+    // main thread's — re-apply the configured width before any parallel
+    // region.
+    SetNumThreads(param_.num_threads);
+    if (param_.zorder_cadence > 0 && !rm_.empty() &&
+        step_ % param_.zorder_cadence == 0) {
+      TRACE_SCOPE("z-order sort");
+      ScopedTimer t(profile_.Hist("z-order sort"));
+      double cell = rm_.LargestDiameter() + param_.interaction_radius_margin;
+      SortAgentsByZOrder(rm_, cell, mode_);
+    }
+    {
+      TRACE_SCOPE("neighborhood update");
+      ScopedTimer t(profile_.Hist("neighborhood update"));
+      env_->Update(rm_, param_, mode_);
+    }
+    {
+      TRACE_SCOPE("mechanical forces");
+      ScopedTimer t(profile_.Hist("mechanical forces"));
+      backend_->Step(rm_, *env_, param_, mode_, &profile_);
+    }
+  });
+  graph.AddNode("diffusion", [this] {
+    SetNumThreads(param_.num_threads);
+    TRACE_SCOPE("diffusion");
+    ScopedTimer t(profile_.Hist("diffusion"));
+    for (auto& g : diffusion_grids_) {
+      g->Step(param_.simulation_time_step, mode_);
+    }
+  });
+  graph.Run(graph_mode);
 }
 
 }  // namespace biosim

@@ -101,6 +101,12 @@ class Simulation {
 
  private:
   void RunBehaviors();
+  /// The post-commit ops of one step as a two-node task graph: mechanics
+  /// (z-order sort, environment update, force step — positions and grid)
+  /// overlapped with diffusion (concentration fields). Used instead of the
+  /// serial op sequence when param_.overlap_ops is set and a diffusion grid
+  /// exists; bitwise-identical results (docs/determinism.md).
+  void RunOverlappedOps();
 
   Param param_;
   ResourceManager rm_;
@@ -109,6 +115,10 @@ class Simulation {
   std::vector<std::unique_ptr<DiffusionGrid>> diffusion_grids_;
   ExecMode mode_ = ExecMode::kParallel;
   uint64_t step_ = 0;
+  /// CreateRandomCells invocations so far: folded into the RNG seed so
+  /// repeated fills draw fresh positions (call 0 keeps the historical
+  /// stream byte-identical).
+  uint64_t random_cells_calls_ = 0;
   OpProfile profile_;
 };
 

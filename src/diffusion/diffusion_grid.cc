@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "core/analysis.h"
@@ -91,8 +92,12 @@ void DiffusionGrid::SubStep(double dt, ExecMode mode) {
 
 bool DiffusionGrid::VoxelOf(const Double3& pos, size_t* x, size_t* y,
                             size_t* z) const {
-  if (pos.x < min_ || pos.y < min_ || pos.z < min_ || pos.x >= max_ ||
-      pos.y >= max_ || pos.z >= max_) {
+  // Positions exactly on the max faces belong to the last voxel (the clamp
+  // below handles the division landing on res_). The old `>= max_` test
+  // silently rejected them, so an agent clamped to the simulation boundary
+  // lost every deposit it made.
+  if (pos.x < min_ || pos.y < min_ || pos.z < min_ || pos.x > max_ ||
+      pos.y > max_ || pos.z > max_) {
     return false;
   }
   *x = static_cast<size_t>((pos.x - min_) / h_);
@@ -118,6 +123,18 @@ void DiffusionGrid::IncreaseConcentrationBy(const Double3& pos, double amount) {
   size_t x, y, z;
   if (VoxelOf(pos, &x, &y, &z)) {
     c_[Index(x, y, z)] += amount;
+    return;
+  }
+  // A deposit outside [min_, max_]^3 is a modeling bug (substance silently
+  // vanishing); count it and warn once rather than failing silently.
+  ++dropped_deposits_;
+  if (!warned_dropped_) {
+    warned_dropped_ = true;
+    std::fprintf(stderr,
+                 "biosim: WARNING: deposit of substance '%s' at (%g, %g, %g) "
+                 "is outside the grid domain [%g, %g]^3 and was dropped "
+                 "(counted in dropped_deposits(); reported once)\n",
+                 name_.c_str(), pos.x, pos.y, pos.z, min_, max_);
   }
 }
 

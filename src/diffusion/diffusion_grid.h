@@ -50,11 +50,19 @@ class DiffusionGrid {
   void Step(double dt, ExecMode mode = ExecMode::kParallel);
 
   /// Deposit `amount` (concentration units) into the voxel containing `pos`.
-  /// NOT safe from concurrent callers (plain read-modify-write; asserts it
-  /// is outside any OpenMP parallel region). Behaviors running under the
-  /// parallel scheduler must use SimContext::DepositSubstance instead, which
-  /// defers deposits and applies them in deterministic agent-index order.
+  /// Positions exactly on a max face land in the last voxel (agents clamped
+  /// to the simulation boundary still deposit); positions outside
+  /// [min, max]^3 are dropped, counted in dropped_deposits() and warned
+  /// about once. NOT safe from concurrent callers (plain read-modify-write;
+  /// asserts it is outside any OpenMP parallel region). Behaviors running
+  /// under the parallel scheduler must use SimContext::DepositSubstance
+  /// instead, which defers deposits and applies them in deterministic
+  /// agent-index order.
   void IncreaseConcentrationBy(const Double3& pos, double amount);
+
+  /// Deposits rejected for being outside the domain — nonzero means the
+  /// model is leaking substance (a warning is printed on the first drop).
+  uint64_t dropped_deposits() const { return dropped_deposits_; }
 
   /// Concentration of the voxel containing `pos` (0 outside the domain).
   double GetConcentration(const Double3& pos) const;
@@ -101,6 +109,8 @@ class DiffusionGrid {
   double d_coef_, mu_;
   BoundaryCondition bc_;
   std::vector<double> c_, c_next_;
+  uint64_t dropped_deposits_ = 0;
+  bool warned_dropped_ = false;
 };
 
 }  // namespace biosim

@@ -9,6 +9,7 @@
 #include "core/thread_pool.h"
 #include "diffusion/diffusion_grid.h"
 #include "gpusim/device.h"
+#include "spatial/uniform_grid.h"
 #include "gpusim/profiler.h"
 #include "obs/perf_counters.h"
 
@@ -173,6 +174,19 @@ void CollectDiffusionGrid(const DiffusionGrid& grid, MetricsRegistry* reg) {
   reg->GetCounter(p + "voxels")->Set(grid.num_voxels());
   reg->GetGauge(p + "total_amount")->Set(grid.TotalAmount());
   reg->GetGauge(p + "max_concentration")->Set(grid.MaxConcentration());
+  reg->GetCounter(p + "dropped_deposits")->Set(grid.dropped_deposits());
+}
+
+void CollectUniformGrid(const UniformGridEnvironment& env,
+                        MetricsRegistry* reg) {
+  const UniformGridEnvironment::UpdateStats& st = env.update_stats();
+  reg->GetCounter("grid/full_rebuilds")->Set(st.full_rebuilds);
+  reg->GetCounter("grid/incremental_updates")->Set(st.incremental_updates);
+  reg->GetCounter("grid/rebinned_agents")->Set(st.rebinned_agents);
+  const Int3& nb = env.num_boxes_axis();
+  reg->GetCounter("grid/boxes")
+      ->Set(static_cast<uint64_t>(nb.x) * static_cast<uint64_t>(nb.y) *
+            static_cast<uint64_t>(nb.z));
 }
 
 void CollectRuntime(MetricsRegistry* reg, int worker_threads) {

@@ -31,6 +31,7 @@
 namespace biosim {
 class OpProfile;
 class DiffusionGrid;
+class UniformGridEnvironment;
 }  // namespace biosim
 
 namespace biosim::gpusim {
@@ -133,8 +134,15 @@ void CollectOpProfile(const OpProfile& profile, MetricsRegistry* reg);
 void CollectDevice(const gpusim::Device& dev, MetricsRegistry* reg);
 
 /// Diffusion grid state: "diffusion/<substance>/{voxels,total_amount,
-/// max_concentration}".
+/// max_concentration,dropped_deposits}".
 void CollectDiffusionGrid(const DiffusionGrid& grid, MetricsRegistry* reg);
+
+/// Uniform-grid maintenance counters: "grid/{full_rebuilds,
+/// incremental_updates,rebinned_agents,boxes}". Shows whether the
+/// incremental path (Param::incremental_grid) is actually engaging and how
+/// much re-binning it does.
+void CollectUniformGrid(const UniformGridEnvironment& env,
+                        MetricsRegistry* reg);
 
 /// Host execution environment: "runtime/hardware_threads" (machine
 /// concurrency), "runtime/worker_threads" (threads the run actually uses;

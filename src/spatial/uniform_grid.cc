@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <limits>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "core/analysis.h"
 #include "physics/displacement.h"
 
 namespace biosim {
@@ -28,6 +33,7 @@ void ResetAtomicVector(std::vector<std::atomic<int32_t>>& v, size_t n,
 void UniformGridEnvironment::Update(const ResourceManager& rm,
                                     const Param& param, ExecMode mode) {
   size_t n = rm.size();
+  CheckCsrAgentCount(n);
   interaction_radius_ = rm.LargestDiameter() + param.interaction_radius_margin;
 
   if (n == 0) {
@@ -45,35 +51,80 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
     successors_.clear();
     box_starts_.assign(2, 0);
     box_agents_.clear();
+    agent_box_.clear();
+    ++update_stats_.full_rebuilds;
     return;
   }
 
-  box_length_ = fixed_box_length_ > 0.0
-                    ? fixed_box_length_
-                    : std::max(interaction_radius_, 1e-6);
+  // Candidate geometry in locals: the members are only overwritten on the
+  // full-rebuild path, so the incremental gate below can compare the
+  // candidate against the live grid. Incremental maintenance is only valid
+  // when every geometric input matches EXACTLY — no snapping, no tolerance —
+  // because a box lattice that differs in any bit re-bins agents
+  // differently. (Without a torus or fixed bounds, grid_min_ tracks
+  // rm.Bounds() and drifts with motion, so the patch path mostly serves
+  // periodic and steady-state populations; that is the workload it is for.)
+  double box_length = fixed_box_length_ > 0.0
+                          ? fixed_box_length_
+                          : std::max(interaction_radius_, 1e-6);
 
-  torus_ = param.EffectiveBoundary() == BoundaryMode::kTorus;
-  if (torus_) {
+  bool torus = param.EffectiveBoundary() == BoundaryMode::kTorus;
+  double edge = 0.0;
+  Double3 grid_min;
+  Int3 num_boxes_axis;
+  if (torus) {
     // Periodic grid: cover [min_bound, max_bound) exactly with boxes no
     // smaller than the interaction radius, so the wrapped 27-box scheme
     // still sees every neighbor.
-    edge_ = param.SpaceEdge();
+    edge = param.SpaceEdge();
     int32_t nb = std::max<int32_t>(
-        1, static_cast<int32_t>(std::floor(edge_ / box_length_)));
-    box_length_ = edge_ / static_cast<double>(nb);
-    grid_min_ = {param.min_bound, param.min_bound, param.min_bound};
-    num_boxes_axis_ = {nb, nb, nb};
+        1, static_cast<int32_t>(std::floor(edge / box_length)));
+    box_length = edge / static_cast<double>(nb);
+    grid_min = {param.min_bound, param.min_bound, param.min_bound};
+    num_boxes_axis = {nb, nb, nb};
   } else {
     AABBd bounds = rm.Bounds();
-    grid_min_ = bounds.min;
+    grid_min = bounds.min;
     Double3 size = bounds.Size();
     auto axis_boxes = [&](double extent) {
-      return static_cast<int32_t>(std::floor(extent / box_length_)) + 1;
+      return static_cast<int32_t>(std::floor(extent / box_length)) + 1;
     };
-    num_boxes_axis_ = {axis_boxes(size.x), axis_boxes(size.y),
-                       axis_boxes(size.z)};
+    num_boxes_axis = {axis_boxes(size.x), axis_boxes(size.y),
+                      axis_boxes(size.z)};
   }
 
+  if (fixed_box_length_ > 0.0 &&
+      interaction_radius_ > fixed_box_length_ + 1e-12) {
+    // The 27-box scheme only covers queries up to one box length. A fixed
+    // box edge smaller than the interaction radius would silently drop
+    // neighbors in every force evaluation; fail fast instead.
+    throw std::invalid_argument(
+        "UniformGridEnvironment: fixed_box_length " +
+        std::to_string(fixed_box_length_) +
+        " is smaller than the interaction radius " +
+        std::to_string(interaction_radius_) +
+        "; queries would drop neighbors outside the 27 surrounding boxes");
+  }
+
+  const bool same_geometry =
+      n == agent_box_.size() && torus == torus_ &&
+      box_length == box_length_ && num_boxes_axis.x == num_boxes_axis_.x &&
+      num_boxes_axis.y == num_boxes_axis_.y &&
+      num_boxes_axis.z == num_boxes_axis_.z && grid_min.x == grid_min_.x &&
+      grid_min.y == grid_min_.y && grid_min.z == grid_min_.z &&
+      (!torus || edge == edge_);
+  if (param.incremental_grid && same_geometry &&
+      TryIncrementalUpdate(rm, mode)) {
+    ++update_stats_.incremental_updates;
+    return;
+  }
+
+  ++update_stats_.full_rebuilds;
+  box_length_ = box_length;
+  torus_ = torus;
+  edge_ = edge;
+  grid_min_ = grid_min;
+  num_boxes_axis_ = num_boxes_axis;
   inv_box_length_ = 1.0 / box_length_;
 
   // Hoist the per-axis offset ranges ({-1,0,1} normally, reduced when a
@@ -99,22 +150,10 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
                  static_cast<size_t>(num_boxes_axis_.y) *
                  static_cast<size_t>(num_boxes_axis_.z);
 
-  if (fixed_box_length_ > 0.0 &&
-      interaction_radius_ > fixed_box_length_ + 1e-12) {
-    // The 27-box scheme only covers queries up to one box length. A fixed
-    // box edge smaller than the interaction radius would silently drop
-    // neighbors in every force evaluation; fail fast instead.
-    throw std::invalid_argument(
-        "UniformGridEnvironment: fixed_box_length " +
-        std::to_string(fixed_box_length_) +
-        " is smaller than the interaction radius " +
-        std::to_string(interaction_radius_) +
-        "; queries would drop neighbors outside the 27 surrounding boxes");
-  }
-
   ResetAtomicVector(box_start_, total, kEmpty, mode);
   ResetAtomicVector(box_count_, total, 0, mode);
   successors_.resize(n);
+  agent_box_.resize(n);
 
   // Parallel insert: each agent atomically pushes itself onto its box's
   // linked list. The resulting per-box order depends on thread interleaving;
@@ -123,9 +162,11 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
   // thread count, and serial vs parallel builds. MechanicalForcesOp
   // accumulates forces in traversal order, so this is what makes CPU
   // trajectories bitwise reproducible (FP addition is not associative).
+  // Each agent's box is also recorded for the next Update's mover diff.
   const auto& pos = rm.positions();
   ParallelFor(mode, n, [&](size_t i) {
     size_t b = BoxIndexOf(pos[i]);
+    agent_box_[i] = static_cast<int32_t>(b);
     int32_t prev = box_start_[b].exchange(static_cast<int32_t>(i),
                                           std::memory_order_relaxed);
     successors_[i] = prev;
@@ -175,6 +216,168 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
       box_agents_[w++] = j;
     }
   });
+}
+
+bool UniformGridEnvironment::TryIncrementalUpdate(const ResourceManager& rm,
+                                                  ExecMode mode) {
+  const size_t n = rm.size();
+  const auto& pos = rm.positions();
+
+  // 1) Mover detection, merged in chunk order. ParallelForChunks hands out
+  // contiguous ascending index ranges, so concatenating the per-chunk lists
+  // by begin yields every box-crosser in ascending agent order — the
+  // canonical order all the membership deltas below inherit. agent_box_ is
+  // only read here; it is patched after the fallback decision so a rejected
+  // attempt leaves every structure untouched.
+  struct Move {
+    int32_t agent;
+    int32_t from;
+    int32_t to;
+  };
+  Mutex merge_mutex;
+  std::vector<std::pair<size_t, std::vector<Move>>> chunks;
+  ParallelForChunks(mode, n, [&](size_t begin, size_t end) {
+    std::vector<Move> local;
+    for (size_t i = begin; i < end; ++i) {
+      int32_t to = static_cast<int32_t>(BoxIndexOf(pos[i]));
+      if (to != agent_box_[i]) {
+        local.push_back({static_cast<int32_t>(i), agent_box_[i], to});
+      }
+    }
+    if (!local.empty()) {
+      MutexLock lock(merge_mutex);
+      chunks.emplace_back(begin, std::move(local));
+    }
+  });
+  if (chunks.empty()) {
+    return true;  // no box boundary crossed: the grid is already exact
+  }
+  std::sort(chunks.begin(), chunks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t movers = 0;
+  for (const auto& [begin, moves] : chunks) {
+    (void)begin;
+    movers += moves.size();
+  }
+  if (movers > n / 2) {
+    // Patching cost approaches a rebuild's; let the caller rebuild. Either
+    // path produces identical bytes, so the threshold is purely a cost
+    // heuristic — it cannot change any result.
+    return false;
+  }
+  update_stats_.rebinned_agents += movers;
+
+  // 2) Per-box membership deltas. std::map gives the deterministic
+  // ascending-box iteration order the serial patch pass below relies on
+  // (and keeps biosim-lint's unordered-iteration rule happy); the
+  // removes/adds vectors stay ascending because movers arrive in ascending
+  // agent order.
+  struct BoxDelta {
+    std::vector<int32_t> removes;
+    std::vector<int32_t> adds;
+  };
+  std::map<size_t, BoxDelta> deltas;
+  for (auto& [begin, moves] : chunks) {
+    (void)begin;
+    for (const Move& m : moves) {
+      deltas[static_cast<size_t>(m.from)].removes.push_back(m.agent);
+      deltas[static_cast<size_t>(m.to)].adds.push_back(m.agent);
+      agent_box_[m.agent] = m.to;
+    }
+  }
+
+  // 3) Retire the live CSR into the previous-generation buffers (swap, no
+  // allocation churn): affected boxes read their old runs from there while
+  // the new arrays are rewritten below.
+  prev_box_starts_.swap(box_starts_);
+  prev_box_agents_.swap(box_agents_);
+
+  // 4) Patch each affected box: new member run = (old run minus leavers)
+  // merged with arrivals — three ascending sequences, so the result is the
+  // ascending member set a full rebuild's canonicalization would produce.
+  // The chain is rewritten to exactly those bytes (head = min, successors
+  // ascending, kEmpty terminator). Boxes own disjoint chain entries, and a
+  // mover's successors_ slot is written only by its destination box.
+  std::vector<int32_t> kept;
+  std::vector<int32_t> merged;
+  for (const auto& [b, delta] : deltas) {
+    const int32_t* old_begin = prev_box_agents_.data() + prev_box_starts_[b];
+    const int32_t* old_end = prev_box_agents_.data() + prev_box_starts_[b + 1];
+    kept.clear();
+    merged.clear();
+    std::set_difference(old_begin, old_end, delta.removes.begin(),
+                        delta.removes.end(), std::back_inserter(kept));
+    std::merge(kept.begin(), kept.end(), delta.adds.begin(), delta.adds.end(),
+               std::back_inserter(merged));
+    box_count_[b].store(static_cast<int32_t>(merged.size()),
+                        std::memory_order_relaxed);
+    if (merged.empty()) {
+      box_start_[b].store(kEmpty, std::memory_order_relaxed);
+      continue;
+    }
+    box_start_[b].store(merged.front(), std::memory_order_relaxed);
+    for (size_t k = 0; k + 1 < merged.size(); ++k) {
+      successors_[merged[k]] = merged[k + 1];
+    }
+    successors_[merged.back()] = kEmpty;
+  }
+
+  // 5) Re-derive box_starts_ from the patched occupancy with the identical
+  // serial exclusive scan the full rebuild runs — same inputs, same loop,
+  // same bytes. (A count change in one box shifts every downstream offset,
+  // so the scan cannot be localized; it is one add per box.)
+  const size_t total = box_start_.size();
+  box_starts_.resize(total + 1);
+  int32_t running = 0;
+  for (size_t b = 0; b < total; ++b) {
+    box_starts_[b] = running;
+    running += box_count_[b].load(std::memory_order_relaxed);
+  }
+  box_starts_[total] = running;
+
+  // 6) Refill box_agents_ at the shifted offsets: affected boxes walk their
+  // freshly patched chains (the same loop as the full rebuild's fill);
+  // untouched boxes bulk-copy their old run from the retired arrays. Each
+  // chunk sweeps its boxes in ascending order, so membership in the (sorted)
+  // affected list is a resumable merge walk — O(boxes + movers), not a
+  // per-box binary search. Every box_agents_ slot is written by exactly one
+  // box regardless of chunking.
+  std::vector<size_t> affected;
+  affected.reserve(deltas.size());
+  for (const auto& [b, delta] : deltas) {
+    (void)delta;
+    affected.push_back(b);
+  }
+  box_agents_.resize(n);
+  ParallelForChunks(mode, total, [&](size_t begin, size_t end) {
+    auto next = std::lower_bound(affected.begin(), affected.end(), begin);
+    for (size_t b = begin; b < end; ++b) {
+      const int32_t w = box_starts_[b];
+      if (next != affected.end() && *next == b) {
+        ++next;
+        int32_t at = w;
+        for (int32_t j = box_start_[b].load(std::memory_order_relaxed);
+             j != kEmpty; j = successors_[j]) {
+          box_agents_[at++] = j;
+        }
+      } else {
+        std::copy_n(prev_box_agents_.data() + prev_box_starts_[b],
+                    box_count_[b].load(std::memory_order_relaxed),
+                    box_agents_.data() + w);
+      }
+    }
+  });
+  return true;
+}
+
+void UniformGridEnvironment::CheckCsrAgentCount(size_t n) {
+  if (n > static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    throw std::length_error(
+        "UniformGridEnvironment: population " + std::to_string(n) +
+        " exceeds the 2^31-1 agents the int32 CSR offsets can address "
+        "(box_starts_/box_agents_, mirrored by the GPU offload); the "
+        "exclusive scan would silently wrap");
+  }
 }
 
 Int3 UniformGridEnvironment::BoxCoordinatesOf(const Double3& pos) const {

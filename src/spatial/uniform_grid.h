@@ -26,6 +26,17 @@
 // CPU force kernel (docs/perf.md) streams these runs instead of chasing the
 // linked chains; because the flattening preserves the canonical order, both
 // traversals visit the identical (neighbor, d²) sequence.
+//
+// Incremental maintenance (docs/perf.md "Incremental grid rebuilds"): when
+// the grid geometry and population are unchanged since the previous Update,
+// only the agents that crossed a box boundary are re-binned — their boxes'
+// chains are re-canonicalized from sorted membership deltas and the CSR is
+// re-derived from the patched occupancy. Every patched structure is
+// byte-identical to what a from-scratch rebuild would produce (the chains,
+// the scan and the runs are all functions of the canonical per-box member
+// sets alone), so PR 4's bitwise determinism contract is preserved; the
+// property battery in tests/spatial/incremental_grid_test.cc compares the
+// two paths structure-by-structure under random motion.
 #ifndef BIOSIM_SPATIAL_UNIFORM_GRID_H_
 #define BIOSIM_SPATIAL_UNIFORM_GRID_H_
 
@@ -131,7 +142,37 @@ class UniformGridEnvironment : public Environment {
   /// Whether the current Update built a periodic (torus) grid.
   bool is_torus() const { return torus_; }
 
+  /// Cumulative Update outcomes since construction (obs exports these as
+  /// grid/* counters; the steady-state bench asserts the patched path
+  /// actually ran).
+  struct UpdateStats {
+    /// Updates that rebuilt every box from scratch (geometry, bounds or
+    /// population changed, the mover fraction crossed the fallback
+    /// threshold, or incremental maintenance is disabled).
+    uint64_t full_rebuilds = 0;
+    /// Updates served by the incremental path (including no-op updates
+    /// where no agent crossed a box boundary).
+    uint64_t incremental_updates = 0;
+    /// Box-crossing agents re-binned by the incremental path.
+    uint64_t rebinned_agents = 0;
+  };
+  const UpdateStats& update_stats() const { return update_stats_; }
+
+  /// The CSR arrays address agents with int32 offsets (the GPU offload
+  /// consumes the same layout), so the exclusive scan's running accumulator
+  /// would silently wrap past 2^31-1 agents. Throws std::length_error
+  /// beyond that; called at the top of every Update and static so the guard
+  /// path is unit-testable without allocating 2^31 agents.
+  static void CheckCsrAgentCount(size_t n);
+
  private:
+  /// Patch the existing grid for a population whose geometry is unchanged:
+  /// detect box-crossers, rewrite only their boxes' chains from sorted
+  /// membership deltas, and re-derive the CSR from the patched occupancy.
+  /// Returns false (leaving all structures untouched) when the mover
+  /// fraction makes a full rebuild cheaper; the caller then falls back.
+  bool TryIncrementalUpdate(const ResourceManager& rm, ExecMode mode);
+
   double fixed_box_length_ = 0.0;
   double interaction_radius_ = 0.0;
   double box_length_ = 1.0;
@@ -159,6 +200,16 @@ class UniformGridEnvironment : public Environment {
   // CSR flattening of the canonical chains (built by Update; see box_starts()).
   std::vector<int32_t> box_starts_;
   std::vector<int32_t> box_agents_;
+
+  // Box of each agent row as of the previous Update (empty until the first
+  // build); the incremental path diffs current positions against this.
+  std::vector<int32_t> agent_box_;
+  // Previous-generation CSR arrays: the incremental path retires the live
+  // CSR into these (a swap, no allocation churn) so untouched boxes can
+  // copy their old runs while the new offsets are being written.
+  std::vector<int32_t> prev_box_starts_;
+  std::vector<int32_t> prev_box_agents_;
+  UpdateStats update_stats_;
 };
 
 }  // namespace biosim

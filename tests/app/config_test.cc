@@ -168,6 +168,47 @@ TEST(ConfigTest, SimdAndPrecisionKeysParseAndValidate) {
       std::invalid_argument);
 }
 
+TEST(ConfigTest, SchedulerKnobsParseAndValidate) {
+  RunConfig cfg = ParseConfigString(
+      "[simulation]\nincremental_grid = false\noverlap_ops = true\n");
+  EXPECT_FALSE(cfg.incremental_grid);
+  EXPECT_TRUE(cfg.overlap_ops);
+  // Defaults: incremental maintenance on (pure win), overlap opt-in.
+  EXPECT_TRUE(ParseConfigString("").incremental_grid);
+  EXPECT_FALSE(ParseConfigString("").overlap_ops);
+  // The overlapped task graph schedules *host* ops; the simulated-GPU
+  // backend runs its own pipeline.
+  EXPECT_THROW(ParseConfigString(
+                   "[simulation]\noverlap_ops = true\n[backend]\ntype = gpu\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigTest, SubstanceKeysParseAndValidate) {
+  RunConfig cfg = ParseConfigString(R"(
+[model]
+substance_resolution = 24
+substance_diffusion = 80
+substance_decay = 0.05
+secretion_rate = 0.5
+)");
+  EXPECT_EQ(cfg.substance_resolution, 24u);
+  EXPECT_DOUBLE_EQ(cfg.substance_diffusion, 80.0);
+  EXPECT_DOUBLE_EQ(cfg.substance_decay, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.secretion_rate, 0.5);
+  EXPECT_EQ(ParseConfigString("").substance_resolution, 0u);
+  // A 1-voxel field cannot diffuse; 0 means "no substance".
+  EXPECT_THROW(ParseConfigString("[model]\nsubstance_resolution = 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseConfigString(
+                   "[model]\nsubstance_resolution = 8\n"
+                   "substance_diffusion = -1\n"),
+               std::invalid_argument);
+  // Secretion without a field to receive it is a config mistake, not a
+  // silent no-op.
+  EXPECT_THROW(ParseConfigString("[model]\nsecretion_rate = 0.5\n"),
+               std::invalid_argument);
+}
+
 TEST(ConfigTest, ValidationRejectsBadEnumValues) {
   EXPECT_THROW(ParseConfigString("[model]\ntype = banana\n"),
                std::invalid_argument);
@@ -220,6 +261,8 @@ TEST(ConfigTest, ShippedExampleConfigsParse) {
                                   "/examples/configs/cell_division.ini"));
   EXPECT_NO_THROW(ParseConfigFile(std::string(BIOSIM_SOURCE_DIR) +
                                   "/examples/configs/gpu_random_cloud.ini"));
+  EXPECT_NO_THROW(ParseConfigFile(std::string(BIOSIM_SOURCE_DIR) +
+                                  "/examples/configs/steady_cloud.ini"));
 }
 
 }  // namespace

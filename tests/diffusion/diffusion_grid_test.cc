@@ -109,6 +109,30 @@ TEST(DiffusionGridTest, QueriesOutsideDomainAreSafe) {
   EXPECT_NEAR(g.TotalAmount(), 5.0 * 512, 1e-9);
 }
 
+TEST(DiffusionGridTest, DepositOnMaxFaceLandsInLastVoxel) {
+  // Regression: the voxel lookup used `pos >= max` as out-of-domain, so a
+  // deposit exactly on the max face — a legal agent position, and exactly
+  // where a clamped torus image can land — was silently discarded. The face
+  // belongs to the last voxel (the same clamp GetConcentration applies).
+  DiffusionGrid g("s", 0, 80, 8, 1.0, 0.0);
+  g.IncreaseConcentrationBy({80, 80, 80}, 4.0);
+  EXPECT_DOUBLE_EQ(g.GetConcentration({79, 79, 79}), 4.0);
+  EXPECT_EQ(g.dropped_deposits(), 0u);
+  EXPECT_NEAR(g.TotalAmount(), 4.0, 1e-12);
+  // Mixed-face corner: one coordinate interior, two on the face.
+  g.IncreaseConcentrationBy({35, 80, 0}, 1.0);
+  EXPECT_DOUBLE_EQ(g.GetConcentration({35, 79, 0}), 1.0);
+}
+
+TEST(DiffusionGridTest, OutOfDomainDepositsAreCountedNotSilent) {
+  DiffusionGrid g("s", 0, 80, 8, 1.0, 0.0);
+  EXPECT_EQ(g.dropped_deposits(), 0u);
+  g.IncreaseConcentrationBy({-1, 40, 40}, 2.0);
+  g.IncreaseConcentrationBy({40, 80.001, 40}, 2.0);
+  EXPECT_EQ(g.dropped_deposits(), 2u);
+  EXPECT_DOUBLE_EQ(g.TotalAmount(), 0.0);  // nothing landed
+}
+
 TEST(DiffusionGridTest, SecretionAccumulatesInVoxel) {
   DiffusionGrid g("s", 0, 80, 8, 1.0, 0.0);
   g.IncreaseConcentrationBy({35, 35, 35}, 2.0);

@@ -142,6 +142,84 @@ TEST(SimulationTest, DiffusionGridIntegration) {
   EXPECT_GT(sim.profile().TotalMs("diffusion"), 0.0);
 }
 
+TEST(SimulationTest, RepeatedRandomFillsDoNotStackCells) {
+  // Regression: CreateRandomCells re-seeded its RNG from param.random_seed
+  // on every call, so a second fill replayed the first call's positions and
+  // stacked each new cell exactly onto an existing one (explosive overlap
+  // forces). Each call must draw from a fresh seed-derived stream.
+  Param p;
+  p.min_bound = 0;
+  p.max_bound = 100;
+  Simulation sim(p);
+  sim.CreateRandomCells(50, 8.0);
+  sim.CreateRandomCells(50, 8.0);
+  const auto& pos = sim.rm().positions();
+  ASSERT_EQ(pos.size(), 100u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_GT(SquaredDistance(pos[i], pos[50 + i]), 0.0)
+        << "cell " << 50 + i << " stacked onto cell " << i;
+  }
+  // Call 0 keeps the historical stream: a one-call sim is unchanged.
+  Simulation fresh(p);
+  fresh.CreateRandomCells(50, 8.0);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(fresh.rm().positions()[i], pos[i]);
+  }
+}
+
+TEST(SimulationTest, NamedSecretionRoutesToItsOwnGrid) {
+  // Regression: the deposit-merge loop applied every buffered deposit to
+  // the *first* grid, so multi-substance models silently cross-fed. Each
+  // deposit now carries its target grid through the sink.
+  Param p;
+  Simulation sim(p);
+  sim.AddDiffusionGrid(std::make_unique<DiffusionGrid>(
+      "oxygen", p.min_bound, p.max_bound, 16, 0.0, 0.0));
+  sim.AddDiffusionGrid(std::make_unique<DiffusionGrid>(
+      "glucose", p.min_bound, p.max_bound, 16, 0.0, 0.0));
+  AgentIndex i = sim.AddCell({500, 500, 500}, 10.0);
+  sim.rm().AttachBehavior(i, std::make_unique<Secretion>("glucose", 10.0));
+  AgentIndex j = sim.AddCell({200, 200, 200}, 10.0);
+  sim.rm().AttachBehavior(j, std::make_unique<Secretion>(4.0));  // default
+  sim.Simulate(5);
+  // The named secretion landed only in glucose; the default-grid secretion
+  // landed only in oxygen.
+  EXPECT_GT(sim.diffusion_grid("glucose")->GetConcentration({500, 500, 500}),
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      sim.diffusion_grid("oxygen")->GetConcentration({500, 500, 500}), 0.0);
+  EXPECT_GT(sim.diffusion_grid("oxygen")->GetConcentration({200, 200, 200}),
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      sim.diffusion_grid("glucose")->GetConcentration({200, 200, 200}), 0.0);
+  // An unknown substance name is a silent no-op, not a crash.
+  sim.rm().AttachBehavior(j, std::make_unique<Secretion>("unknown", 1.0));
+  EXPECT_NO_THROW(sim.Simulate(1));
+}
+
+TEST(SimulationTest, OverlapOpsRunsTheSamePipeline) {
+  // Smoke-level: with the overlap knob on, a diffusing + secreting + moving
+  // scenario produces the identical final state hash as the serial
+  // schedule. (The determinism suite sweeps threads; this pins the flag's
+  // wiring through Param.)
+  auto run = [](bool overlap) {
+    Param p;
+    p.random_seed = 7;
+    p.overlap_ops = overlap;
+    p.max_bound = 120.0;
+    Simulation sim(p);
+    sim.Create3DCellGrid(3, 20.0, 8.0, 16.0, 120000.0);
+    sim.AddDiffusionGrid(std::make_unique<DiffusionGrid>(
+        "oxygen", 0.0, 120.0, 12, 80.0, 0.01));
+    for (AgentIndex i = 0; i < sim.rm().size(); ++i) {
+      sim.rm().AttachBehavior(i, std::make_unique<Secretion>(0.5));
+    }
+    sim.Simulate(8);
+    return sim.StateHash();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(SimulationTest, ChemotaxisPullsCellUpGradient) {
   Param p;
   p.default_adherence = 0.0;

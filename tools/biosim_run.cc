@@ -2,7 +2,8 @@
 //
 //   biosim_run [config.ini] [--steps N] [--backend cpu|gpu] [--threads N]
 //              [--cpu-fast-path BOOL] [--simd BOOL] [--precision fp64|fp32]
-//              [--zorder-every N] [--print-config]
+//              [--zorder-every N] [--incremental-grid BOOL]
+//              [--overlap-ops BOOL] [--print-config]
 //              [--sanitize] [--trace FILE] [--metrics FILE]
 //              [--metrics-every N] [--report FILE] [--json]
 //              [--perf-counters] [--flight-recorder FILE]
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
                  "usage: %s [config.ini] [--steps N] [--backend cpu|gpu] "
                  "[--threads N] [--cpu-fast-path BOOL] [--simd BOOL] "
                  "[--precision fp64|fp32] [--zorder-every N] "
+                 "[--incremental-grid BOOL] [--overlap-ops BOOL] "
                  "[--print-config] [--sanitize] [--trace FILE] "
                  "[--metrics FILE] [--metrics-every N] [--report FILE] "
                  "[--json] [--perf-counters] [--flight-recorder FILE] "
@@ -134,6 +136,11 @@ int main(int argc, char** argv) {
         cfg.precision = value;
       } else if (FlagValue(argc, argv, &i, "--zorder-every", &value)) {
         cfg.zorder_every = static_cast<uint64_t>(std::atoll(value.c_str()));
+      } else if (FlagValue(argc, argv, &i, "--incremental-grid", &value)) {
+        cfg.incremental_grid =
+            value == "1" || value == "true" || value == "on";
+      } else if (FlagValue(argc, argv, &i, "--overlap-ops", &value)) {
+        cfg.overlap_ops = value == "1" || value == "true" || value == "on";
       } else if (FlagValue(argc, argv, &i, "--trace", &value)) {
         cfg.trace_path = value;
       } else if (FlagValue(argc, argv, &i, "--metrics-every", &value)) {
