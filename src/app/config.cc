@@ -89,6 +89,22 @@ void RunConfig::Validate() const {
   if (secretion_rate != 0.0 && substance_resolution == 0) {
     fail("secretion_rate needs a substance grid (set substance_resolution)");
   }
+  if (shard_balance != "static" && shard_balance != "adaptive") {
+    fail("shard_balance must be static or adaptive, got '" + shard_balance +
+         "'");
+  }
+  if (shards > 0 && backend_type == "gpu") {
+    fail("shards is a CPU-pipeline knob (the GPU backend owns the whole "
+         "domain)");
+  }
+  if (shards > 0 && !cpu_fast_path) {
+    fail("shards drives the fused CSR kernel per shard and requires "
+         "cpu_fast_path");
+  }
+  if (shards > 0 && overlap_ops) {
+    fail("shards and overlap_ops cannot be combined: the sharded pipeline "
+         "schedules mechanics/diffusion itself; disable one");
+  }
   if (precision != "fp64" && precision != "fp32") {
     fail("precision must be fp64 or fp32, got '" + precision + "'");
   }
@@ -189,6 +205,12 @@ RunConfig ParseConfigString(const std::string& text) {
        [&](const std::string& v, size_t l) {
          cfg.overlap_ops = ToBool(v, l);
        }},
+      {"shards",
+       [&](const std::string& v, size_t l) {
+         cfg.shards = static_cast<uint32_t>(ToU64(v, l));
+       }},
+      {"shard_balance",
+       [&](const std::string& v, size_t) { cfg.shard_balance = v; }},
   };
   schema["model"] = {
       {"type", [&](const std::string& v, size_t) { cfg.model_type = v; }},

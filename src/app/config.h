@@ -13,6 +13,8 @@
 //   zorder_every = 0              ; re-sort agents into Z-order every N steps
 //   incremental_grid = true       ; patch the uniform grid instead of rebuilding
 //   overlap_ops = false           ; overlap mechanics and diffusion (CPU only)
+//   shards = 0                    ; spatial domain shards (docs/sharding.md); 0=off
+//   shard_balance = static        ; static | adaptive plane-range sizing
 //
 //   [model]
 //   type = cell_division          ; cell_division | random_cloud
@@ -100,6 +102,14 @@ struct RunConfig {
   /// (Param::overlap_ops). CPU backend only; bitwise-neutral; no-op
   /// without a substance grid.
   bool overlap_ops = false;
+  /// Spatial domain shards along the grid's z-planes (Param::num_shards,
+  /// docs/sharding.md). 0 disables. StateHash is bitwise-identical for any
+  /// shard count (the CI shard sweep enforces it). CPU backend only;
+  /// requires cpu_fast_path; mutually exclusive with overlap_ops.
+  uint32_t shards = 0;
+  /// Plane-range sizing when shards > 0: "static" (equal plane counts) or
+  /// "adaptive" (greedy split over the per-plane agent histogram).
+  std::string shard_balance = "static";
 
   // [model]
   std::string model_type = "cell_division";

@@ -59,6 +59,10 @@ struct BackendSpec {
   bool simd = false;
   /// FP32 pair math (Param::precision = kFp32); tolerance contract.
   bool fp32 = false;
+  /// Spatial shard count (Param::num_shards); 0 = unsharded. The sharded
+  /// pipeline owes bitwise identity (docs/sharding.md), so its row carries
+  /// tolerance 0 like the fast-path rows.
+  uint32_t shards = 0;
 };
 
 std::unique_ptr<Simulation> MakeSim(const ParityScenario& sc,
@@ -70,6 +74,7 @@ std::unique_ptr<Simulation> MakeSim(const ParityScenario& sc,
   param.cpu_fast_path = b.fast_path;
   param.cpu_simd = b.simd;
   param.precision = b.fp32 ? Precision::kFp32 : Precision::kFp64;
+  param.num_shards = b.shards;
   auto sim = std::make_unique<Simulation>(param);
   sim->CreateRandomCells(sc.agents, sc.diameter);
   switch (b.kind) {
@@ -137,6 +142,8 @@ ParityReport RunParity(const ParityScenario& scenario) {
       {"ug_parallel", Kind::kCpuGrid, ExecMode::kParallel, 0, true, 0.0},
       {"cpu_fast", Kind::kCpuGrid, ExecMode::kSerial, 0, true, 0.0, true},
       {"cpu_fast_mt", Kind::kCpuGrid, ExecMode::kParallel, 0, true, 0.0, true},
+      {"cpu_sharded", Kind::kCpuGrid, ExecMode::kParallel, 0, true, 0.0, true,
+       false, false, 2},
       {"cpu_simd", Kind::kCpuGrid, ExecMode::kSerial, 0, false, kCpuSimdTol,
        true, true},
       {"cpu_fp32", Kind::kCpuGrid, ExecMode::kSerial, 0, false, kCpuFp32Tol,

@@ -2,15 +2,18 @@
 //
 // Runs one seeded scenario through every neighbor-search / mechanics backend
 // combination the engine ships — kd-tree, uniform grid serial, uniform grid
-// parallel, the fused CSR fast path (serial and parallel), the vectorized
-// fused kernel (cpu_simd, and its FP32 precision mode cpu_fp32), and the
-// GPU version ladder v0..v3 — and compares each trajectory against the
-// uniform-grid serial reference (which pins the fast path *off*, so the
-// cpu_fast rows prove fused == legacy):
+// parallel, the fused CSR fast path (serial and parallel), the spatially
+// sharded pipeline (cpu_sharded: two shards with halo exchange,
+// docs/sharding.md), the vectorized fused kernel (cpu_simd, and its FP32
+// precision mode cpu_fp32), and the GPU version ladder v0..v3 — and
+// compares each trajectory against the uniform-grid serial reference (which
+// pins the fast path *off*, so the cpu_fast rows prove fused == legacy):
 //
-//   * backends that owe *bitwise* equality (uniform grid parallel and the
-//     fused fast path: same FP operations in the same order at any worker
-//     count) are compared by their per-step state-hash sequences;
+//   * backends that owe *bitwise* equality (uniform grid parallel, the
+//     fused fast path — same FP operations in the same order at any worker
+//     count — and the sharded pipeline, whose merge discipline makes the
+//     shard count invisible) are compared by their per-step state-hash
+//     sequences;
 //   * backends that legitimately alter individual FP operations
 //     (kd-tree traversal order; the SIMD kernel's FMA-contracted
 //     distances; host/GPU FP32 kernels) are compared by the final

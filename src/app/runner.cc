@@ -50,6 +50,10 @@ obs::json::Value ConfigJson(const RunConfig& cfg) {
   v.Set("zorder_every", cfg.zorder_every);
   v.Set("incremental_grid", cfg.incremental_grid);
   v.Set("overlap_ops", cfg.overlap_ops);
+  if (cfg.shards > 0) {
+    v.Set("shards", cfg.shards);
+    v.Set("shard_balance", cfg.shard_balance);
+  }
   v.Set("model_type", cfg.model_type);
   if (cfg.model_type == "cell_division") {
     v.Set("cells_per_dim", cfg.cells_per_dim);
@@ -118,6 +122,15 @@ obs::FlightRecorder::StepRecord MakeStepRecord(
     rec.has_counters = true;
     rec.counters = *delta;
   }
+  if (const ShardRuntime* srt = sim.shard_runtime()) {
+    rec.shards = srt->shards();
+    if (srt->ghosts_received().size() == srt->shards()) {
+      for (uint64_t g : srt->ghosts_received()) {
+        rec.shard_ghosts += g;
+      }
+    }
+    rec.shard_migrations = srt->last_migrations();
+  }
   return rec;
 }
 
@@ -145,6 +158,10 @@ std::unique_ptr<Simulation> BuildSimulation(const RunConfig& cfg) {
   param.zorder_cadence = static_cast<uint32_t>(cfg.zorder_every);
   param.incremental_grid = cfg.incremental_grid;
   param.overlap_ops = cfg.overlap_ops;
+  param.num_shards = cfg.shards;
+  param.shard_balance = cfg.shard_balance == "adaptive"
+                            ? ShardBalance::kAdaptive
+                            : ShardBalance::kStatic;
   param.simulation_time_step = cfg.timestep;
   param.simulation_max_displacement = cfg.max_displacement;
   param.min_bound = 0.0;
@@ -225,6 +242,17 @@ DeterminismReport VerifyDeterminism(const RunConfig& cfg) {
     RunConfig serial = cfg;
     serial.num_threads = 1;
     runs.push_back(serial);
+  }
+  // Sharded configs additionally verify against the unsharded pipeline —
+  // the sharding determinism contract promises bitwise-identical hashes for
+  // ANY shard count, including zero (docs/sharding.md).
+  if (cfg.shards > 0) {
+    RunConfig unsharded = cfg;
+    unsharded.shards = 0;
+    runs.push_back(unsharded);
+    RunConfig resharded = cfg;
+    resharded.shards = cfg.shards == 1 ? 2 : cfg.shards / 2;
+    runs.push_back(resharded);
   }
 
   int64_t inject_step = InjectedDivergenceStep();
@@ -330,6 +358,20 @@ RunSummary ExecuteRun(const RunConfig& cfg) {
     obs::CollectRuntime(reg, ResolvedWorkerThreads(cfg));
     if (perf != nullptr) {
       obs::CollectPerfSession(perf.get(), reg);
+    }
+    const ShardRuntime* srt = sim->shard_runtime();
+    if (srt != nullptr && srt->partition().shards == srt->shards()) {
+      // Copy into the obs-layer POD: obs does not link the engine.
+      std::vector<obs::ShardObsStats> stats(srt->shards());
+      const bool have_ghosts =
+          srt->ghosts_received().size() == srt->shards();
+      for (uint32_t k = 0; k < srt->shards(); ++k) {
+        stats[k].owned_agents = srt->owned_rows(k).size();
+        stats[k].ghosts_shipped = have_ghosts ? srt->ghosts_received()[k] : 0;
+        stats[k].first_plane = srt->partition().first_plane(k);
+        stats[k].end_plane = srt->partition().end_plane(k);
+      }
+      obs::CollectShards(stats, srt->last_migrations(), reg);
     }
   };
 

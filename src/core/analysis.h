@@ -15,6 +15,12 @@
 //      dynamic_cast, typeid, std::function and virtual dispatch — the
 //      dispatch mechanisms the fused kernels exist to avoid. The markers
 //      compile to nothing; they only scope the lint rule.
+//      BIOSIM_SHARD_SCOPE_BEGIN/END work the same way for the sharded
+//      pipeline's per-shard code (rule `cross-shard-write`): inside a shard
+//      scope the linter rejects direct writes to domain-global state
+//      (IncreaseConcentrationBy, AddAgent/RemoveAgent) and in-scope
+//      Communicator::Barrier calls, which self-deadlock when a
+//      work-stealing ParallelFor runs two ranks on one worker.
 //
 //   3. TsanAcquire/TsanRelease happens-before bridges for
 //      -fsanitize=thread builds (BIOSIM_SANITIZE=thread). GCC's libgomp is
@@ -130,5 +136,23 @@ class BIOSIM_SCOPED_CAPABILITY MutexLock {
 // an unterminated region as a violation.
 #define BIOSIM_HOT_LOOP_BEGIN() static_cast<void>(0)
 #define BIOSIM_HOT_LOOP_END() static_cast<void>(0)
+
+// Shard-scope region markers (biosim-lint rule `cross-shard-write`). Wrap
+// the body of code that executes per-shard under the sharded pipeline
+// (docs/sharding.md):
+//
+//   BIOSIM_SHARD_SCOPE_BEGIN();
+//   ... a shard may read anything but write only its own rows; effects on
+//   ... domain-global state (substance deposits, agent creation/removal)
+//   ... must be buffered and merged globally in row order afterwards, and
+//   ... Communicator::Barrier must not be called (the phase join is the
+//   ... barrier; an in-scope Barrier self-deadlocks under work stealing).
+//   BIOSIM_SHARD_SCOPE_END();
+//
+// Every marked region must be closed in the same file; biosim-lint reports
+// an unterminated region as a violation. Sanctioned exceptions carry
+// `// biosim-lint: allow(cross-shard-write)`.
+#define BIOSIM_SHARD_SCOPE_BEGIN() static_cast<void>(0)
+#define BIOSIM_SHARD_SCOPE_END() static_cast<void>(0)
 
 #endif  // BIOSIM_CORE_ANALYSIS_H_

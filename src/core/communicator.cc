@@ -1,0 +1,17 @@
+#include "core/communicator.h"
+
+namespace biosim {
+
+void Communicator::Barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const uint64_t phase = barrier_phase_;
+  if (++barrier_arrived_ == ranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_phase_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_phase_ != phase; });
+}
+
+}  // namespace biosim

@@ -29,6 +29,19 @@ enum class Precision : uint8_t {
   kFp32,
 };
 
+/// How the spatial shard partition sizes its z-plane ranges
+/// (docs/sharding.md). Lives here rather than in spatial/ because Param
+/// carries it and core cannot depend on spatial.
+enum class ShardBalance : uint8_t {
+  /// Equal plane counts per shard, ignoring where the agents are.
+  kStatic,
+  /// Greedy prefix over the per-plane agent histogram, recomputed every
+  /// step: each shard takes planes until it holds its share of the
+  /// remaining load. Never changes results — only which shard does the
+  /// work.
+  kAdaptive,
+};
+
 struct Param {
   // --- space -----------------------------------------------------------
   /// Simulation space is the cube [min_bound, max_bound]^3.
@@ -135,6 +148,23 @@ struct Param {
   /// with runs at a different cadence.
   uint32_t zorder_cadence = 0;
 
+  /// Partition the domain into this many spatial shards along the grid's
+  /// z-plane lattice (docs/sharding.md): each shard owns the agents binned
+  /// into its plane range, builds a private occupancy-compacted CSR, and
+  /// runs behaviors + forces over its owned rows, with ghost agents within
+  /// one interaction radius of the shard faces exchanged through the
+  /// in-process Communicator before every force pass. 0 disables sharding
+  /// (the classic single-grid pipeline); 1 runs the sharded pipeline with a
+  /// degenerate single shard (useful to isolate the machinery). StateHash
+  /// is bitwise-identical for every shard count — verified by the parity
+  /// harness's cpu_sharded row and the CI shard×thread determinism sweep.
+  /// Requires cpu_fast_path and the uniform-grid environment; rejected when
+  /// the shard count exceeds the lattice's z-plane count.
+  uint32_t num_shards = 0;
+
+  /// Plane-range sizing policy when num_shards > 0.
+  ShardBalance shard_balance = ShardBalance::kStatic;
+
   /// Throw std::invalid_argument on inconsistent settings. Called by the
   /// Simulation constructor so misconfiguration fails fast, before any
   /// agents exist.
@@ -169,6 +199,19 @@ struct Param {
     if ((cpu_simd || precision == Precision::kFp32) && !cpu_fast_path) {
       fail("cpu_simd / fp32 precision vectorize the fused kernel and "
            "require cpu_fast_path");
+    }
+    if (num_shards > 0 && !cpu_fast_path) {
+      fail("spatial sharding drives the fused CSR kernel per shard and "
+           "requires cpu_fast_path");
+    }
+    if (num_shards > 0 && overlap_ops) {
+      // The sharded step already interleaves its phases around the halo
+      // barriers; composing it with the overlap task graph would run
+      // diffusion concurrently with per-shard force passes whose merge
+      // discipline assumes exclusive SoA access. Reject loudly rather than
+      // silently ignoring one of the knobs (ISSUE 10 satellite).
+      fail("overlap_ops and num_shards cannot be combined: the sharded "
+           "pipeline schedules mechanics/diffusion itself; disable one");
     }
   }
 };

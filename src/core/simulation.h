@@ -22,6 +22,7 @@
 #include "core/param.h"
 #include "core/profiler.h"
 #include "core/resource_manager.h"
+#include "core/shard_runtime.h"
 #include "core/thread_pool.h"
 #include "diffusion/diffusion_grid.h"
 #include "physics/mechanics_backend.h"
@@ -99,8 +100,20 @@ class Simulation {
   /// hash sequences are identical (docs/determinism.md).
   uint64_t StateHash() const;
 
+  /// The shard runtime driving the sharded pipeline, or nullptr when
+  /// param.num_shards == 0 or before the first sharded step (observability
+  /// reads per-shard stats through this).
+  const ShardRuntime* shard_runtime() const { return shard_runtime_.get(); }
+
  private:
   void RunBehaviors();
+  /// Behaviors pass of the sharded pipeline: each shard runs its owned rows
+  /// (ascending); substance deposits are tagged with their row and merged
+  /// globally in row order — the exact sequence the unsharded pass applies.
+  void RunBehaviorsSharded();
+  /// One full sharded step after the behaviors+commit phases: partition,
+  /// halo exchange, per-shard grids, sharded force pass, diffusion.
+  void RunShardedOps();
   /// The post-commit ops of one step as a two-node task graph: mechanics
   /// (z-order sort, environment update, force step — positions and grid)
   /// overlapped with diffusion (concentration fields). Used instead of the
@@ -119,6 +132,7 @@ class Simulation {
   /// repeated fills draw fresh positions (call 0 keeps the historical
   /// stream byte-identical).
   uint64_t random_cells_calls_ = 0;
+  std::unique_ptr<ShardRuntime> shard_runtime_;
   OpProfile profile_;
 };
 

@@ -152,6 +152,18 @@ void FlightRecorder::RecordStep(const StepRecord& r) {
          static_cast<unsigned long long>(r.counters.branch_misses));
     if (len >= cap) {
       len = complete;
+    } else {
+      complete = len;
+    }
+  }
+  if (r.shards > 0) {
+    emit(", \"shards\": %llu, \"shard_ghosts\": %llu, "
+         "\"shard_migrations\": %llu",
+         static_cast<unsigned long long>(r.shards),
+         static_cast<unsigned long long>(r.shard_ghosts),
+         static_cast<unsigned long long>(r.shard_migrations));
+    if (len >= cap) {
+      len = complete;
     }
   }
   p[len++] = '}';

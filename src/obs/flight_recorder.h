@@ -60,6 +60,12 @@ class FlightRecorder {
     /// Per-step hardware-counter delta; recorded only when set.
     bool has_counters = false;
     CounterSample counters;
+    /// Sharded-pipeline summary (docs/sharding.md); recorded only when
+    /// shards > 0: shard count, halo ghosts shipped this step, and agents
+    /// that changed owner.
+    uint64_t shards = 0;
+    uint64_t shard_ghosts = 0;
+    uint64_t shard_migrations = 0;
   };
 
   /// `capacity` is N, the number of most-recent steps retained.

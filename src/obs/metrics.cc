@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -202,6 +203,45 @@ void CollectRuntime(MetricsRegistry* reg, int worker_threads) {
 #else
   reg->GetGauge("runtime/openmp")->Set(0.0);
 #endif
+}
+
+void CollectShards(const std::vector<ShardObsStats>& shards,
+                   uint64_t migrations, MetricsRegistry* reg) {
+  if (shards.empty()) {
+    return;
+  }
+  uint64_t total_owned = 0;
+  uint64_t max_owned = 0;
+  for (size_t k = 0; k < shards.size(); ++k) {
+    const ShardObsStats& s = shards[k];
+    const std::string prefix = "shard/" + std::to_string(k) + "/";
+    reg->GetCounter(prefix + "owned_agents")->Set(s.owned_agents);
+    reg->GetCounter(prefix + "ghosts_shipped")->Set(s.ghosts_shipped);
+    reg->GetCounter(prefix + "planes")
+        ->Set(static_cast<uint64_t>(s.end_plane - s.first_plane));
+    total_owned += s.owned_agents;
+    max_owned = std::max(max_owned, s.owned_agents);
+  }
+  reg->GetCounter("shard/count")->Set(shards.size());
+  reg->GetCounter("shard/migrations")->Set(migrations);
+  // Imbalance relative to the perfectly balanced share: the slowest shard
+  // bounds the step, so max/share is the wall-clock overhead factor the
+  // partitioner owes (kAdaptive exists to pull this toward 1.0).
+  const double share =
+      total_owned > 0
+          ? static_cast<double>(total_owned) / static_cast<double>(shards.size())
+          : 0.0;
+  double mean_dev = 0.0;
+  if (share > 0.0) {
+    for (const ShardObsStats& s : shards) {
+      mean_dev += std::abs(static_cast<double>(s.owned_agents) - share);
+    }
+    mean_dev /= share * static_cast<double>(shards.size());
+  }
+  reg->GetGauge("shard/load_imbalance_max")
+      ->Set(share > 0.0 ? static_cast<double>(max_owned) / share : 1.0);
+  // Mean relative deviation from the balanced share (0 = perfectly even).
+  reg->GetGauge("shard/load_imbalance_mean")->Set(mean_dev);
 }
 
 void CollectPerfSession(const PerfSession* session, MetricsRegistry* reg) {

@@ -24,6 +24,7 @@
 #include <fstream>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/histogram.h"
 #include "obs/json.h"
@@ -154,6 +155,24 @@ void CollectRuntime(MetricsRegistry* reg, int worker_threads = 0);
 /// "perf/<op>/{cycles,instructions,llc_misses,branch_misses,ipc}" plus
 /// "perf/available" (0/1). No-op gauges-wise when `session` is null.
 void CollectPerfSession(const PerfSession* session, MetricsRegistry* reg);
+
+/// One spatial shard's per-step accounting, copied out of the engine's
+/// ShardRuntime by the caller (plain data: obs does not link the engine).
+struct ShardObsStats {
+  uint64_t owned_agents = 0;
+  uint64_t ghosts_shipped = 0;
+  int32_t first_plane = 0;
+  int32_t end_plane = 0;
+};
+
+/// Sharded-pipeline state: per-shard "shard/<k>/{owned_agents,
+/// ghosts_shipped,planes}" counters plus domain-wide "shard/count",
+/// "shard/migrations" and the load-imbalance gauges
+/// "shard/load_imbalance_max" / "shard/load_imbalance_mean" (per-shard
+/// owned count over the perfectly balanced share; 1.0 = ideal). No-op when
+/// `shards` is empty (unsharded run).
+void CollectShards(const std::vector<ShardObsStats>& shards,
+                   uint64_t migrations, MetricsRegistry* reg);
 
 }  // namespace biosim::obs
 

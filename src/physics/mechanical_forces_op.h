@@ -39,11 +39,23 @@
 #include "core/resource_manager.h"
 #include "core/thread_pool.h"
 #include "physics/force_law.h"
+#include "spatial/csr_grid_view.h"
 #include "spatial/environment.h"
 
 namespace biosim {
 
 class UniformGridEnvironment;
+
+/// One spatial shard's slice of a sharded force pass (docs/sharding.md):
+/// its occupancy-compacted CSR (owned + halo members) and the list of its
+/// owned occupied boxes as (sort key, slot) pairs. The shard runtime
+/// guarantees the owned boxes of all shards partition the global non-empty
+/// box set, so every agent row is written by exactly one shard.
+struct ShardForceInput {
+  CsrGridView view;
+  const std::pair<uint64_t, uint32_t>* boxes = nullptr;
+  size_t num_boxes = 0;
+};
 
 class MechanicalForcesOp {
  public:
@@ -64,6 +76,22 @@ class MechanicalForcesOp {
   /// space). Also zeroes the buffer.
   void ApplyDisplacements(ResourceManager& rm, const Param& param,
                           ExecMode mode);
+
+  /// Sharded twin of ComputeDisplacements: run the fused (or SIMD) pass once
+  /// per shard over that shard's CSR view and owned boxes. Each owned box
+  /// presents the identical candidate sequence the global grid would (the
+  /// halo exchange ships every agent within one box of a shard face), and
+  /// each agent row is owned by exactly one shard, so the displacement
+  /// buffer is filled with bitwise the same values as the unsharded pass —
+  /// per-shard grids only shrink the *maintenance* cost, never the force
+  /// math. `interaction_radius` must not exceed `box_length` (throws
+  /// std::invalid_argument; the shard lattice is derived with boxes >= the
+  /// radius, so this only fires on misuse).
+  void ComputeDisplacementsSharded(const ResourceManager& rm,
+                                   const std::vector<ShardForceInput>& shards,
+                                   double interaction_radius,
+                                   double box_length, const Param& param,
+                                   ExecMode mode);
 
   /// Displacement buffer (tests and the GPU-equivalence suite compare it).
   const std::vector<Double3>& displacements() const { return displacements_; }

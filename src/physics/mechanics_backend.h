@@ -44,6 +44,11 @@ class CpuMechanicsBackend : public MechanicsBackend {
 
   size_t last_force_evaluations() const { return op_.last_force_evaluations(); }
   const MechanicalForcesOp& op() const { return op_; }
+  /// The sharded pipeline drives the op's compute/apply phases itself
+  /// (ComputeDisplacementsSharded needs the shard views, not an
+  /// Environment), but reuses this op so force-evaluation counters keep
+  /// flowing through the accessors above.
+  MechanicalForcesOp& mutable_op() { return op_; }
 
  private:
   MechanicalForcesOp op_;

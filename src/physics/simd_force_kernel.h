@@ -62,7 +62,7 @@
 #include "core/simd.h"
 #include "core/thread_pool.h"
 #include "physics/force_law.h"
-#include "spatial/uniform_grid.h"
+#include "spatial/csr_grid_view.h"
 
 namespace biosim::detail {
 
@@ -76,9 +76,14 @@ struct FusedSimdArgs {
   const Double3* positions = nullptr;
   const double* diameters = nullptr;
   const Double3* tractor = nullptr;
-  const UniformGridEnvironment* grid = nullptr;
-  /// Non-empty boxes sorted by Morton code (the scalar fused path's
-  /// traversal order).
+  /// CSR layout + neighbor-slot resolver: the global grid's, or one spatial
+  /// shard's occupancy-compacted CSR (spatial/csr_grid_view.h). Both present
+  /// each box's candidates in the identical canonical order, so the kernel
+  /// body is shared bit-for-bit.
+  CsrGridView view;
+  /// Non-empty boxes as (sort key, slot) pairs, in traversal order (Morton
+  /// for the global grid; traversal order never affects any box's own
+  /// candidate sequence, so it is bitwise-free).
   const std::pair<uint64_t, uint32_t>* boxes = nullptr;
   size_t num_boxes = 0;
   ForceLaw law = ForceLaw::kCortex3D;
@@ -109,8 +114,8 @@ template <typename T, int W, typename Tag>
 void RunFusedSimdKernel(const FusedSimdArgs& a) {
   using V = simd::Vec<T, W>;
 
-  const int32_t* starts = a.grid->box_starts().data();
-  const int32_t* agents = a.grid->box_agents().data();
+  const int32_t* starts = a.view.box_starts;
+  const int32_t* agents = a.view.box_agents;
 
   const T r2s = static_cast<T>(a.r2);
   const T kappa = static_cast<T>(a.repulsion);
@@ -138,8 +143,8 @@ void RunFusedSimdKernel(const FusedSimdArgs& a) {
 
     for (size_t bi = begin; bi < end; ++bi) {
       const size_t b = a.boxes[bi].second;
-      const int block_count =
-          a.grid->NeighborBoxesOf(a.grid->BoxCoordinatesOfIndex(b), blocks);
+      const int block_count = a.view.neighbor_slots(
+          a.view.self, static_cast<uint32_t>(b), blocks);
       size_t cand_n = 0;
       for (int k = 0; k < block_count; ++k) {
         cand_n += static_cast<size_t>(starts[blocks[k] + 1] -

@@ -1,0 +1,130 @@
+#include "spatial/shard_grid.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace biosim {
+
+void ShardGrid::Configure(const GridGeometry& geometry, int32_t owned_begin,
+                          int32_t owned_end) {
+  geometry_ = geometry;
+  owned_begin_ = owned_begin;
+  owned_end_ = owned_end;
+  const int32_t nx = geometry_.num_boxes_axis.x;
+  const int32_t ny = geometry_.num_boxes_axis.y;
+  const int32_t nz = geometry_.num_boxes_axis.z;
+  plane_size_ = static_cast<size_t>(nx) * static_cast<size_t>(ny);
+
+  plane_to_window_.assign(static_cast<size_t>(nz), -1);
+  window_planes_.clear();
+  // Window = owned planes plus one halo plane on each side. On a torus the
+  // halo wraps; on an open domain out-of-range planes are skipped. Duplicate
+  // planes (e.g. a torus so small the halo wraps onto an owned plane) are
+  // kept once: plane_to_window_ assignment is first-wins.
+  for (int32_t zz = owned_begin - 1; zz <= owned_end; ++zz) {
+    int32_t z = zz;
+    if (geometry_.torus) {
+      z = ((zz % nz) + nz) % nz;
+    } else if (z < 0 || z >= nz) {
+      continue;
+    }
+    if (plane_to_window_[static_cast<size_t>(z)] >= 0) {
+      continue;
+    }
+    plane_to_window_[static_cast<size_t>(z)] =
+        static_cast<int32_t>(window_planes_.size());
+    window_planes_.push_back(z);
+  }
+
+  slot_of_.assign(window_planes_.size() * plane_size_, -1);
+  occupied_wb_.clear();
+  starts_.clear();
+  agents_.clear();
+  owned_boxes_.clear();
+}
+
+void ShardGrid::Update(const std::vector<int32_t>& members,
+                       const Double3* positions) {
+  // Reset only the slots that were occupied last step — O(occupied), not
+  // O(window boxes).
+  for (uint64_t wb : occupied_wb_) {
+    slot_of_[static_cast<size_t>(wb)] = -1;
+  }
+  occupied_wb_.clear();
+  starts_.clear();
+  agents_.clear();
+  owned_boxes_.clear();
+
+  const int32_t nx = geometry_.num_boxes_axis.x;
+  bins_.clear();
+  bins_.reserve(members.size());
+  for (int32_t row : members) {
+    const auto c = geometry_.BoxCoordinatesOf(positions[row]);
+    const int32_t wz = plane_to_window_[static_cast<size_t>(c.z)];
+    if (wz < 0) {
+      throw std::logic_error(
+          "ShardGrid: agent row " + std::to_string(row) + " binned to plane " +
+          std::to_string(c.z) + " outside the shard window [" +
+          std::to_string(owned_begin_) + ", " + std::to_string(owned_end_) +
+          ") + halo — halo exchange or migration dropped a transfer");
+    }
+    const uint64_t wb = static_cast<uint64_t>(wz) * plane_size_ +
+                        static_cast<uint64_t>(c.y) * nx +
+                        static_cast<uint64_t>(c.x);
+    bins_.emplace_back(wb, row);
+  }
+  // Lexicographic sort: boxes ascending, rows ascending within a box (rows
+  // are unique) — the canonical resident order of the global grid.
+  std::sort(bins_.begin(), bins_.end());
+
+  agents_.reserve(bins_.size());
+  for (const auto& [wb, row] : bins_) {
+    if (occupied_wb_.empty() || occupied_wb_.back() != wb) {
+      slot_of_[static_cast<size_t>(wb)] =
+          static_cast<int32_t>(occupied_wb_.size());
+      occupied_wb_.push_back(wb);
+      starts_.push_back(static_cast<int32_t>(agents_.size()));
+    }
+    agents_.push_back(row);
+  }
+  starts_.push_back(static_cast<int32_t>(agents_.size()));
+
+  for (uint32_t slot = 0; slot < occupied_wb_.size(); ++slot) {
+    const uint64_t wb = occupied_wb_[slot];
+    const int32_t z = window_planes_[static_cast<size_t>(wb / plane_size_)];
+    if (z >= owned_begin_ && z < owned_end_) {
+      owned_boxes_.emplace_back(wb, slot);
+    }
+  }
+}
+
+int ShardGrid::NeighborSlots(const void* self, uint32_t slot,
+                             size_t out[27]) {
+  const auto* grid = static_cast<const ShardGrid*>(self);
+  const uint64_t wb = grid->occupied_wb_[slot];
+  const int32_t nx = grid->geometry_.num_boxes_axis.x;
+  const uint64_t rem = wb % grid->plane_size_;
+  Int3 c;
+  c.z = grid->window_planes_[static_cast<size_t>(wb / grid->plane_size_)];
+  c.y = static_cast<int32_t>(rem / static_cast<uint64_t>(nx));
+  c.x = static_cast<int32_t>(rem % static_cast<uint64_t>(nx));
+  int count = 0;
+  grid->geometry_.ForEachNeighborCoord(
+      c, [&](const Int3& nc) {
+        const int32_t wz = grid->plane_to_window_[static_cast<size_t>(nc.z)];
+        if (wz < 0) {
+          return;  // Outside the window: no occupied box there can exist.
+        }
+        const int32_t s2 =
+            grid->slot_of_[static_cast<size_t>(wz) * grid->plane_size_ +
+                           static_cast<size_t>(nc.y) * nx +
+                           static_cast<size_t>(nc.x)];
+        if (s2 >= 0) {
+          out[count++] = static_cast<size_t>(s2);
+        }
+      });
+  return count;
+}
+
+}  // namespace biosim

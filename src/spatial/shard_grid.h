@@ -1,0 +1,109 @@
+// Per-shard occupancy-compacted CSR over the shared box lattice.
+//
+// Each spatial shard bins its members — owned agents plus halo ghosts — with
+// the SAME GridGeometry the global uniform grid derives, but stores only the
+// occupied boxes: slot s is the s-th occupied window box, box_starts/
+// box_agents are indexed by slot, and a dense slot map resolves a window box
+// to its slot (or -1). Rebuilding therefore costs
+// O(members log members + occupied boxes) per step, independent of the total
+// box count — the global grid's CSR derivation pays O(total boxes) for the
+// exclusive scan and refill every step, which at steady state (7M boxes for
+// 128k agents in the shard bench) dominates the whole pipeline. This
+// compaction is where the sharded speedup comes from (docs/sharding.md).
+//
+// Bitwise contract: within a box, members are stored ascending by global
+// row — exactly the global grid's canonical run — and NeighborSlots
+// enumerates the 3x3x3 block in the canonical (dz, dy, dx) order via the
+// shared GridGeometry::ForEachNeighborCoord, skipping unoccupied boxes
+// (which contribute no candidates). A fused force pass over this CSR
+// therefore streams, for every owned box, the identical candidate values in
+// the identical order as a pass over the global grid: the displacement of
+// every owned row is bit-for-bit the unsharded one.
+//
+// The window covers the owned plane range plus one halo plane on each side
+// (wrapped on a torus, clamped at open faces): every 27-block of an owned
+// box resolves inside the window by construction.
+#ifndef BIOSIM_SPATIAL_SHARD_GRID_H_
+#define BIOSIM_SPATIAL_SHARD_GRID_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/math.h"
+#include "spatial/csr_grid_view.h"
+#include "spatial/grid_geometry.h"
+
+namespace biosim {
+
+class ShardGrid {
+ public:
+  /// (Re)build the window structures for the lattice and owned plane range
+  /// [owned_begin, owned_end). O(window boxes); the shard runtime calls this
+  /// only when the lattice or the partition changed — steady-state steps pay
+  /// only Update().
+  void Configure(const GridGeometry& geometry, int32_t owned_begin,
+                 int32_t owned_end);
+
+  /// Rebuild the compacted CSR for `members` (global agent rows, ascending,
+  /// deduplicated: the shard's owned rows merged with its halo ghosts).
+  /// Every member must bin into the shard window — a row outside it means
+  /// the halo/migration protocol broke; throws std::logic_error.
+  void Update(const std::vector<int32_t>& members, const Double3* positions);
+
+  /// CSR view for the fused force kernels. Valid until the next Update().
+  CsrGridView View() const {
+    CsrGridView v;
+    v.box_starts = starts_.data();
+    v.box_agents = agents_.data();
+    v.neighbor_slots = &ShardGrid::NeighborSlots;
+    v.self = this;
+    return v;
+  }
+
+  /// Occupied boxes in owned planes, as (window box, slot) pairs in
+  /// ascending window-box order — the force pass's traversal list. Their
+  /// resident runs contain exactly the shard's owned rows.
+  const std::vector<std::pair<uint64_t, uint32_t>>& owned_boxes() const {
+    return owned_boxes_;
+  }
+
+  size_t occupied_boxes() const { return occupied_wb_.size(); }
+  const std::vector<int32_t>& box_starts() const { return starts_; }
+  const std::vector<int32_t>& box_agents() const { return agents_; }
+  const GridGeometry& geometry() const { return geometry_; }
+  int32_t owned_begin() const { return owned_begin_; }
+  int32_t owned_end() const { return owned_end_; }
+  /// Number of z-planes in the window (owned + halo).
+  size_t window_planes() const { return window_planes_.size(); }
+
+  /// CsrGridView resolver: slots of the occupied boxes in the 3x3x3 block
+  /// around `slot`'s box, canonical (dz, dy, dx) order.
+  static int NeighborSlots(const void* self, uint32_t slot, size_t out[27]);
+
+ private:
+  GridGeometry geometry_;
+  int32_t owned_begin_ = 0;
+  int32_t owned_end_ = 0;
+  /// Boxes per plane (nx * ny).
+  size_t plane_size_ = 0;
+  /// Global z-plane -> window plane index, -1 when outside the window.
+  std::vector<int32_t> plane_to_window_;
+  /// Window plane index -> global z-plane.
+  std::vector<int32_t> window_planes_;
+  /// Window box -> slot, -1 when empty. Only entries in occupied_wb_ are
+  /// ever non-negative, so the per-step reset touches occupied boxes only.
+  std::vector<int32_t> slot_of_;
+  /// Slot -> window box, ascending.
+  std::vector<uint64_t> occupied_wb_;
+  std::vector<int32_t> starts_;
+  std::vector<int32_t> agents_;
+  std::vector<std::pair<uint64_t, uint32_t>> owned_boxes_;
+  /// Binning scratch: (window box, row), reused across steps.
+  std::vector<std::pair<uint64_t, int32_t>> bins_;
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_SPATIAL_SHARD_GRID_H_

@@ -1,0 +1,82 @@
+#include "spatial/shard_partition.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace biosim {
+
+ShardPartition ShardPartition::Split(uint32_t shards, int32_t planes,
+                                     ShardBalance balance,
+                                     const std::vector<uint64_t>& plane_load) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardPartition: shard count must be >= 1");
+  }
+  if (static_cast<int64_t>(shards) > static_cast<int64_t>(planes)) {
+    // The domain cannot be cut finer than the box lattice: each shard owns
+    // at least one full z-plane (the halo protocol ships face planes).
+    // Satellite fix of ISSUE 10 — reject loudly instead of producing empty
+    // shards whose halo exchange would silently drop neighbors.
+    throw std::invalid_argument(
+        "ShardPartition: " + std::to_string(shards) +
+        " shards exceed the " + std::to_string(planes) +
+        " z-planes of the box lattice (domain extent / box length); reduce "
+        "the shard count or enlarge the domain");
+  }
+
+  ShardPartition p;
+  p.shards = shards;
+  p.planes = planes;
+  p.plane_begin.resize(shards + 1);
+  p.plane_begin[0] = 0;
+  p.plane_begin[shards] = planes;
+
+  if (balance == ShardBalance::kStatic || plane_load.empty()) {
+    for (uint32_t k = 1; k < shards; ++k) {
+      p.plane_begin[k] = static_cast<int32_t>(
+          static_cast<int64_t>(k) * static_cast<int64_t>(planes) /
+          static_cast<int64_t>(shards));
+    }
+  } else {
+    if (plane_load.size() != static_cast<size_t>(planes)) {
+      throw std::invalid_argument(
+          "ShardPartition: plane_load has " +
+          std::to_string(plane_load.size()) + " entries for " +
+          std::to_string(planes) + " planes");
+    }
+    // Greedy prefix walk: shard k keeps taking planes until it reaches its
+    // equal share of the load not yet assigned, clamped so every remaining
+    // shard still gets at least one plane. Deterministic: a pure function
+    // of the histogram.
+    uint64_t remaining_load = 0;
+    for (uint64_t v : plane_load) {
+      remaining_load += v;
+    }
+    int32_t plane = 0;
+    for (uint32_t k = 0; k + 1 < shards; ++k) {
+      const uint32_t shards_left = shards - k;
+      const int32_t max_end =
+          planes - static_cast<int32_t>(shards_left - 1);
+      const uint64_t target =
+          (remaining_load + shards_left - 1) / shards_left;
+      uint64_t taken = 0;
+      int32_t end = plane;
+      while (end < max_end && (end == plane || taken < target)) {
+        taken += plane_load[static_cast<size_t>(end)];
+        ++end;
+      }
+      remaining_load -= taken;
+      plane = end;
+      p.plane_begin[k + 1] = end;
+    }
+  }
+
+  p.plane_owner.resize(static_cast<size_t>(planes));
+  for (uint32_t k = 0; k < shards; ++k) {
+    for (int32_t z = p.plane_begin[k]; z < p.plane_begin[k + 1]; ++z) {
+      p.plane_owner[static_cast<size_t>(z)] = static_cast<int32_t>(k);
+    }
+  }
+  return p;
+}
+
+}  // namespace biosim

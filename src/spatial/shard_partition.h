@@ -1,0 +1,50 @@
+// Spatial shard partition: contiguous z-plane ranges of the box lattice.
+//
+// The domain is split along the grid's z axis (FlatBoxIndex is x-fastest, so
+// a plane is a contiguous run of boxes) into K contiguous plane ranges, one
+// per shard. Ownership of an agent is ownership of the plane its box lies
+// in. Contiguity means every shard has at most two neighbors (above/below,
+// wrapping on a torus), so the halo exchange is two messages per shard per
+// step (docs/sharding.md).
+//
+// The split is a pure function of (K, plane count, balance mode, per-plane
+// load histogram) — no agent data, no RNG — and it never affects any
+// simulation result: partitioning only assigns work, the merge discipline
+// makes the outcome shard-count independent.
+#ifndef BIOSIM_SPATIAL_SHARD_PARTITION_H_
+#define BIOSIM_SPATIAL_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/param.h"  // ShardBalance
+
+namespace biosim {
+
+struct ShardPartition {
+  /// Shard k owns planes [plane_begin[k], plane_begin[k+1]); size K + 1,
+  /// plane_begin[0] == 0, plane_begin[K] == planes.
+  std::vector<int32_t> plane_begin;
+  /// plane -> owning shard; size = planes.
+  std::vector<int32_t> plane_owner;
+  uint32_t shards = 0;
+  int32_t planes = 0;
+
+  /// Split `planes` z-planes across `shards`. `plane_load` is the per-plane
+  /// agent histogram (may be empty for kStatic; must have `planes` entries
+  /// for kAdaptive). Throws std::invalid_argument when shards == 0 or when
+  /// shards exceeds the plane count — a shard cannot own less than one
+  /// plane (the halo protocol ships exactly the face planes).
+  static ShardPartition Split(uint32_t shards, int32_t planes,
+                              ShardBalance balance,
+                              const std::vector<uint64_t>& plane_load);
+
+  int32_t first_plane(uint32_t k) const { return plane_begin[k]; }
+  /// One past the last owned plane.
+  int32_t end_plane(uint32_t k) const { return plane_begin[k + 1]; }
+  int32_t OwnerOfPlane(int32_t z) const { return plane_owner[z]; }
+};
+
+}  // namespace biosim
+
+#endif  // BIOSIM_SPATIAL_SHARD_PARTITION_H_

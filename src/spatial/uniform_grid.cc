@@ -34,18 +34,21 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
                                     const Param& param, ExecMode mode) {
   size_t n = rm.size();
   CheckCsrAgentCount(n);
-  interaction_radius_ = rm.LargestDiameter() + param.interaction_radius_margin;
+
+  // Candidate geometry in a local: geometry_ is only overwritten on the
+  // full-rebuild path, so the incremental gate below can compare the
+  // candidate against the live grid. Incremental maintenance is only valid
+  // when every geometric input matches EXACTLY — no snapping, no tolerance —
+  // because a box lattice that differs in any bit re-bins agents
+  // differently. (Without a torus or fixed bounds, grid_min tracks
+  // rm.Bounds() and drifts with motion, so the patch path mostly serves
+  // periodic and steady-state populations; that is the workload it is for.)
+  // Derive is the same function spatial shards bin with (grid_geometry.h).
+  GridGeometry candidate = GridGeometry::Derive(rm, param, fixed_box_length_);
+  interaction_radius_ = candidate.interaction_radius;
 
   if (n == 0) {
-    // Degenerate population: a single empty box (a zero interaction radius
-    // would otherwise explode the box count over the fallback bounds).
-    grid_min_ = {0, 0, 0};
-    box_length_ = fixed_box_length_ > 0.0 ? fixed_box_length_ : 1.0;
-    inv_box_length_ = 1.0 / box_length_;
-    num_boxes_axis_ = {1, 1, 1};
-    torus_ = false;
-    off_lo_[0] = off_lo_[1] = off_lo_[2] = -1;
-    off_hi_[0] = off_hi_[1] = off_hi_[2] = 1;
+    geometry_ = candidate;
     ResetAtomicVector(box_start_, 1, kEmpty, mode);
     ResetAtomicVector(box_count_, 1, 0, mode);
     successors_.clear();
@@ -56,63 +59,8 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
     return;
   }
 
-  // Candidate geometry in locals: the members are only overwritten on the
-  // full-rebuild path, so the incremental gate below can compare the
-  // candidate against the live grid. Incremental maintenance is only valid
-  // when every geometric input matches EXACTLY — no snapping, no tolerance —
-  // because a box lattice that differs in any bit re-bins agents
-  // differently. (Without a torus or fixed bounds, grid_min_ tracks
-  // rm.Bounds() and drifts with motion, so the patch path mostly serves
-  // periodic and steady-state populations; that is the workload it is for.)
-  double box_length = fixed_box_length_ > 0.0
-                          ? fixed_box_length_
-                          : std::max(interaction_radius_, 1e-6);
-
-  bool torus = param.EffectiveBoundary() == BoundaryMode::kTorus;
-  double edge = 0.0;
-  Double3 grid_min;
-  Int3 num_boxes_axis;
-  if (torus) {
-    // Periodic grid: cover [min_bound, max_bound) exactly with boxes no
-    // smaller than the interaction radius, so the wrapped 27-box scheme
-    // still sees every neighbor.
-    edge = param.SpaceEdge();
-    int32_t nb = std::max<int32_t>(
-        1, static_cast<int32_t>(std::floor(edge / box_length)));
-    box_length = edge / static_cast<double>(nb);
-    grid_min = {param.min_bound, param.min_bound, param.min_bound};
-    num_boxes_axis = {nb, nb, nb};
-  } else {
-    AABBd bounds = rm.Bounds();
-    grid_min = bounds.min;
-    Double3 size = bounds.Size();
-    auto axis_boxes = [&](double extent) {
-      return static_cast<int32_t>(std::floor(extent / box_length)) + 1;
-    };
-    num_boxes_axis = {axis_boxes(size.x), axis_boxes(size.y),
-                      axis_boxes(size.z)};
-  }
-
-  if (fixed_box_length_ > 0.0 &&
-      interaction_radius_ > fixed_box_length_ + 1e-12) {
-    // The 27-box scheme only covers queries up to one box length. A fixed
-    // box edge smaller than the interaction radius would silently drop
-    // neighbors in every force evaluation; fail fast instead.
-    throw std::invalid_argument(
-        "UniformGridEnvironment: fixed_box_length " +
-        std::to_string(fixed_box_length_) +
-        " is smaller than the interaction radius " +
-        std::to_string(interaction_radius_) +
-        "; queries would drop neighbors outside the 27 surrounding boxes");
-  }
-
   const bool same_geometry =
-      n == agent_box_.size() && torus == torus_ &&
-      box_length == box_length_ && num_boxes_axis.x == num_boxes_axis_.x &&
-      num_boxes_axis.y == num_boxes_axis_.y &&
-      num_boxes_axis.z == num_boxes_axis_.z && grid_min.x == grid_min_.x &&
-      grid_min.y == grid_min_.y && grid_min.z == grid_min_.z &&
-      (!torus || edge == edge_);
+      n == agent_box_.size() && candidate.SameLattice(geometry_);
   if (param.incremental_grid && same_geometry &&
       TryIncrementalUpdate(rm, mode)) {
     ++update_stats_.incremental_updates;
@@ -120,35 +68,9 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
   }
 
   ++update_stats_.full_rebuilds;
-  box_length_ = box_length;
-  torus_ = torus;
-  edge_ = edge;
-  grid_min_ = grid_min;
-  num_boxes_axis_ = num_boxes_axis;
-  inv_box_length_ = 1.0 / box_length_;
+  geometry_ = candidate;
 
-  // Hoist the per-axis offset ranges ({-1,0,1} normally, reduced when a
-  // periodic axis has fewer than 3 boxes so a wrapped offset cannot revisit
-  // the same box) out of the traversals: they are grid-shape constants.
-  auto axis_offsets = [&](int axis, int32_t nb) {
-    if (!torus_ || nb >= 3) {
-      off_lo_[axis] = -1;
-      off_hi_[axis] = 1;
-    } else if (nb == 2) {
-      off_lo_[axis] = -1;
-      off_hi_[axis] = 0;
-    } else {
-      off_lo_[axis] = 0;
-      off_hi_[axis] = 0;
-    }
-  };
-  axis_offsets(0, num_boxes_axis_.x);
-  axis_offsets(1, num_boxes_axis_.y);
-  axis_offsets(2, num_boxes_axis_.z);
-
-  size_t total = static_cast<size_t>(num_boxes_axis_.x) *
-                 static_cast<size_t>(num_boxes_axis_.y) *
-                 static_cast<size_t>(num_boxes_axis_.z);
+  size_t total = geometry_.TotalBoxes();
 
   ResetAtomicVector(box_start_, total, kEmpty, mode);
   ResetAtomicVector(box_count_, total, 0, mode);
@@ -380,45 +302,9 @@ void UniformGridEnvironment::CheckCsrAgentCount(size_t n) {
   }
 }
 
-Int3 UniformGridEnvironment::BoxCoordinatesOf(const Double3& pos) const {
-  auto coord = [&](double v, double lo, int32_t n) {
-    int32_t c = static_cast<int32_t>(std::floor((v - lo) * inv_box_length_));
-    return std::clamp(c, 0, n - 1);
-  };
-  return {coord(pos.x, grid_min_.x, num_boxes_axis_.x),
-          coord(pos.y, grid_min_.y, num_boxes_axis_.y),
-          coord(pos.z, grid_min_.z, num_boxes_axis_.z)};
-}
-
 int UniformGridEnvironment::NeighborBoxesOf(const Int3& c,
                                             size_t out[27]) const {
-  int count = 0;
-  for (int32_t dz = off_lo_[2]; dz <= off_hi_[2]; ++dz) {
-    int32_t z = c.z + dz;
-    if (torus_) {
-      z = (z + num_boxes_axis_.z) % num_boxes_axis_.z;
-    } else if (z < 0 || z >= num_boxes_axis_.z) {
-      continue;
-    }
-    for (int32_t dy = off_lo_[1]; dy <= off_hi_[1]; ++dy) {
-      int32_t y = c.y + dy;
-      if (torus_) {
-        y = (y + num_boxes_axis_.y) % num_boxes_axis_.y;
-      } else if (y < 0 || y >= num_boxes_axis_.y) {
-        continue;
-      }
-      for (int32_t dx = off_lo_[0]; dx <= off_hi_[0]; ++dx) {
-        int32_t x = c.x + dx;
-        if (torus_) {
-          x = (x + num_boxes_axis_.x) % num_boxes_axis_.x;
-        } else if (x < 0 || x >= num_boxes_axis_.x) {
-          continue;
-        }
-        out[count++] = FlatBoxIndex({x, y, z});
-      }
-    }
-  }
-  return count;
+  return geometry_.NeighborBoxesOf(c, out);
 }
 
 size_t UniformGridEnvironment::BoxIndexOf(const Double3& pos) const {
@@ -428,14 +314,14 @@ size_t UniformGridEnvironment::BoxIndexOf(const Double3& pos) const {
 void UniformGridEnvironment::ForEachNeighborWithinRadius(
     AgentIndex query, const ResourceManager& rm, double radius,
     NeighborFn fn) const {
-  if (radius > box_length_ + 1e-12) {
+  if (radius > geometry_.box_length + 1e-12) {
     // Out of contract in any build type: the traversal only visits the 27
     // surrounding boxes, so a larger radius would silently miss neighbors
     // (previously only a debug assert; with fixed_box_length_ set, release
     // builds dropped neighbors without a trace).
     throw std::invalid_argument(
         "UniformGridEnvironment: query radius " + std::to_string(radius) +
-        " exceeds the box length " + std::to_string(box_length_) +
+        " exceeds the box length " + std::to_string(geometry_.box_length) +
         "; the uniform grid only covers the 27 surrounding boxes");
   }
   const auto& pos = rm.positions();
@@ -454,7 +340,8 @@ void UniformGridEnvironment::ForEachNeighborWithinRadius(
       if (static_cast<AgentIndex>(j) == query) {
         continue;
       }
-      double d2 = torus_ ? MinImageVector(q, pos[j], edge_).SquaredNorm()
+      double d2 = geometry_.torus
+                         ? MinImageVector(q, pos[j], geometry_.edge).SquaredNorm()
                          : SquaredDistance(q, pos[j]);
       if (d2 <= r2) {
         fn(static_cast<AgentIndex>(j), d2);
@@ -466,10 +353,10 @@ void UniformGridEnvironment::ForEachNeighborWithinRadius(
 void UniformGridEnvironment::ForEachNeighborWithinRadiusCsr(
     AgentIndex query, const ResourceManager& rm, double radius,
     NeighborFn fn) const {
-  if (radius > box_length_ + 1e-12) {
+  if (radius > geometry_.box_length + 1e-12) {
     throw std::invalid_argument(
         "UniformGridEnvironment: query radius " + std::to_string(radius) +
-        " exceeds the box length " + std::to_string(box_length_) +
+        " exceeds the box length " + std::to_string(geometry_.box_length) +
         "; the uniform grid only covers the 27 surrounding boxes");
   }
   const auto& pos = rm.positions();
@@ -486,7 +373,8 @@ void UniformGridEnvironment::ForEachNeighborWithinRadiusCsr(
       if (static_cast<AgentIndex>(j) == query) {
         continue;
       }
-      double d2 = torus_ ? MinImageVector(q, pos[j], edge_).SquaredNorm()
+      double d2 = geometry_.torus
+                         ? MinImageVector(q, pos[j], geometry_.edge).SquaredNorm()
                          : SquaredDistance(q, pos[j]);
       if (d2 <= r2) {
         fn(static_cast<AgentIndex>(j), d2);

@@ -44,7 +44,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "spatial/csr_grid_view.h"
 #include "spatial/environment.h"
+#include "spatial/grid_geometry.h"
 
 namespace biosim {
 
@@ -69,10 +71,14 @@ class UniformGridEnvironment : public Environment {
   const char* name() const override { return "uniform-grid"; }
 
   // --- raw grid state, consumed by the GPU offload and by tests ----------
-  double box_length() const { return box_length_; }
-  const Int3& num_boxes_axis() const { return num_boxes_axis_; }
+  double box_length() const { return geometry_.box_length; }
+  const Int3& num_boxes_axis() const { return geometry_.num_boxes_axis; }
   size_t total_boxes() const { return box_start_.size(); }
-  const Double3& grid_min() const { return grid_min_; }
+  const Double3& grid_min() const { return geometry_.grid_min; }
+
+  /// The box lattice of the last Update (spatial/grid_geometry.h). Shards
+  /// derive the identical lattice independently; tests compare the two.
+  const GridGeometry& geometry() const { return geometry_; }
 
   /// First agent in box b, or kEmpty. Chains are canonical: ascending agent
   /// index, regardless of the build's thread interleaving.
@@ -111,22 +117,15 @@ class UniformGridEnvironment : public Environment {
 
   /// Flat box index of a position (clamped into the grid).
   size_t BoxIndexOf(const Double3& pos) const;
-  Int3 BoxCoordinatesOf(const Double3& pos) const;
+  Int3 BoxCoordinatesOf(const Double3& pos) const {
+    return geometry_.BoxCoordinatesOf(pos);
+  }
   /// Inverse of FlatBoxIndex.
   Int3 BoxCoordinatesOfIndex(size_t b) const {
-    int32_t x = static_cast<int32_t>(b % static_cast<size_t>(num_boxes_axis_.x));
-    size_t rest = b / static_cast<size_t>(num_boxes_axis_.x);
-    int32_t y =
-        static_cast<int32_t>(rest % static_cast<size_t>(num_boxes_axis_.y));
-    int32_t z =
-        static_cast<int32_t>(rest / static_cast<size_t>(num_boxes_axis_.y));
-    return {x, y, z};
+    return geometry_.BoxCoordinatesOfIndex(b);
   }
   size_t FlatBoxIndex(const Int3& c) const {
-    return (static_cast<size_t>(c.z) * static_cast<size_t>(num_boxes_axis_.y) +
-            static_cast<size_t>(c.y)) *
-               static_cast<size_t>(num_boxes_axis_.x) +
-           static_cast<size_t>(c.x);
+    return geometry_.FlatBoxIndex(c);
   }
 
   /// Mean number of agents per non-empty box (diagnostics; benchmark B's
@@ -140,7 +139,7 @@ class UniformGridEnvironment : public Environment {
                            size_t sample_stride = 1) const;
 
   /// Whether the current Update built a periodic (torus) grid.
-  bool is_torus() const { return torus_; }
+  bool is_torus() const { return geometry_.torus; }
 
   /// Cumulative Update outcomes since construction (obs exports these as
   /// grid/* counters; the steady-state bench asserts the patched path
@@ -175,22 +174,10 @@ class UniformGridEnvironment : public Environment {
 
   double fixed_box_length_ = 0.0;
   double interaction_radius_ = 0.0;
-  double box_length_ = 1.0;
-  // 1 / box_length_, precomputed once per Update so every BoxCoordinatesOf
-  // (one per query in the legacy path, one per insert in the build) costs a
-  // multiply instead of a divide.
-  double inv_box_length_ = 1.0;
-  Double3 grid_min_;
-  Int3 num_boxes_axis_{1, 1, 1};
-  // Torus mode (periodic space): neighbor iteration wraps across faces and
-  // distances are minimum-image.
-  bool torus_ = false;
-  double edge_ = 0.0;
-  // Per-axis neighbor-offset bounds ({-1,1} normally; reduced on periodic
-  // axes with < 3 boxes), hoisted out of the per-query traversal into
-  // Update: they depend only on the grid shape. Indexed x=0, y=1, z=2.
-  int32_t off_lo_[3] = {-1, -1, -1};
-  int32_t off_hi_[3] = {1, 1, 1};
+  // The box lattice of the last Update (edge length, origin, axis counts,
+  // torus wrap, reduced offsets): derived by GridGeometry::Derive — the same
+  // function every spatial shard uses, so the two can never drift.
+  GridGeometry geometry_;
 
   // Box::start and Box::length of Fig. 5, stored as parallel arrays (SoA, as
   // everywhere else) so they copy to the device as two flat buffers.
@@ -211,6 +198,26 @@ class UniformGridEnvironment : public Environment {
   std::vector<int32_t> prev_box_agents_;
   UpdateStats update_stats_;
 };
+
+/// CsrGridView neighbor resolver over the global grid: slot == flat box
+/// index, so the resolver is exactly NeighborBoxesOf. Pure integer code —
+/// safe to emit (and for the linker to fold) from any translation unit.
+inline int GlobalGridNeighborSlots(const void* self, uint32_t slot,
+                                   size_t out[27]) {
+  const auto* grid = static_cast<const UniformGridEnvironment*>(self);
+  return grid->NeighborBoxesOf(grid->BoxCoordinatesOfIndex(slot), out);
+}
+
+/// The fused kernels' view of the global grid (spatial/csr_grid_view.h).
+/// Valid until the next Update reallocates the CSR arrays.
+inline CsrGridView MakeCsrGridView(const UniformGridEnvironment& grid) {
+  CsrGridView v;
+  v.box_starts = grid.box_starts().data();
+  v.box_agents = grid.box_agents().data();
+  v.neighbor_slots = &GlobalGridNeighborSlots;
+  v.self = &grid;
+  return v;
+}
 
 }  // namespace biosim
 

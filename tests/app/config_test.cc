@@ -183,6 +183,33 @@ TEST(ConfigTest, SchedulerKnobsParseAndValidate) {
                std::invalid_argument);
 }
 
+TEST(ConfigTest, ShardKeysParseAndValidate) {
+  RunConfig cfg = ParseConfigString(
+      "[simulation]\nshards = 4\nshard_balance = adaptive\n");
+  EXPECT_EQ(cfg.shards, 4u);
+  EXPECT_EQ(cfg.shard_balance, "adaptive");
+  // Defaults: unsharded, static plane split.
+  EXPECT_EQ(ParseConfigString("").shards, 0u);
+  EXPECT_EQ(ParseConfigString("").shard_balance, "static");
+  // The only balance modes the partitioner implements.
+  EXPECT_THROW(
+      ParseConfigString("[simulation]\nshards = 2\nshard_balance = magic\n"),
+      std::invalid_argument);
+  // Sharding drives the fused CSR kernel per shard on the host: the GPU
+  // backend and the non-fused path have no sharded pipeline.
+  EXPECT_THROW(ParseConfigString(
+                   "[simulation]\nshards = 2\n[backend]\ntype = gpu\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ParseConfigString(
+                   "[simulation]\nshards = 2\ncpu_fast_path = false\n"),
+               std::invalid_argument);
+  // The sharded pipeline schedules mechanics/diffusion itself; combining
+  // it with the overlapped task graph must fail loudly, not race.
+  EXPECT_THROW(ParseConfigString(
+                   "[simulation]\nshards = 2\noverlap_ops = true\n"),
+               std::invalid_argument);
+}
+
 TEST(ConfigTest, SubstanceKeysParseAndValidate) {
   RunConfig cfg = ParseConfigString(R"(
 [model]

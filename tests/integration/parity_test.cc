@@ -15,7 +15,7 @@ namespace {
 class ParityHarnessTest : public ::testing::Test {
  protected:
   // One run shared by all assertions: the harness is the expensive part
-  // (eleven backends, five steps each).
+  // (twelve backends, five steps each).
   static void SetUpTestSuite() { report_ = new ParityReport(RunParity({})); }
   static void TearDownTestSuite() {
     delete report_;
@@ -45,8 +45,8 @@ TEST_F(ParityHarnessTest, CoversEveryBackend) {
   }
   EXPECT_EQ(names, (std::set<std::string>{
                        "ug_serial", "ug_parallel", "cpu_fast", "cpu_fast_mt",
-                       "cpu_simd", "cpu_fp32", "kdtree", "gpu_v0", "gpu_v1",
-                       "gpu_v2", "gpu_v3"}));
+                       "cpu_sharded", "cpu_simd", "cpu_fp32", "kdtree",
+                       "gpu_v0", "gpu_v1", "gpu_v2", "gpu_v3"}));
 }
 
 TEST_F(ParityHarnessTest, AllBackendsWithinBounds) {
@@ -77,6 +77,18 @@ TEST_F(ParityHarnessTest, CpuFastPathIsBitwise) {
     EXPECT_EQ(r.max_abs_delta, 0.0) << name;
     EXPECT_EQ(r.final_hash, Result("ug_serial").final_hash) << name;
   }
+}
+
+TEST_F(ParityHarnessTest, ShardedPipelineIsBitwise) {
+  // The sharding claim (docs/sharding.md): partitioning only assigns work;
+  // the merge discipline (canonical traversal, one global displacement
+  // epilogue, row-ordered deposit merge) keeps the output bitwise-equal to
+  // the unsharded reference at any shard count.
+  const ParityResult& r = Result("cpu_sharded");
+  EXPECT_TRUE(r.bitwise_required);
+  EXPECT_TRUE(r.hashes_equal) << report_->ToString();
+  EXPECT_EQ(r.max_abs_delta, 0.0);
+  EXPECT_EQ(r.final_hash, Result("ug_serial").final_hash);
 }
 
 TEST_F(ParityHarnessTest, SimdRowsOweToleranceNotBitwise) {

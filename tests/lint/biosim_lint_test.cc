@@ -150,6 +150,32 @@ TEST(BiosimLintTest, HotLoopVirtualFixtureViolations) {
   EXPECT_EQ(got, want);
 }
 
+TEST(BiosimLintTest, CrossShardWriteFixtureViolations) {
+  auto got = RuleLines(LintFixture("cross_shard_bad.cc"));
+  std::vector<std::pair<std::string, int>> want = {
+      // The in-scope deposit trips both the shard rule and the global
+      // deposit-discipline rule.
+      {kCrossShardWrite, 15},
+      {kDirectDeposit, 15},
+      {kCrossShardWrite, 16},  // AddAgent
+      {kCrossShardWrite, 17},  // RemoveAgent
+      {kCrossShardWrite, 18},  // Communicator::Barrier
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(BiosimLintTest, UnclosedShardScopeIsAFinding) {
+  std::string code =
+      "#define BIOSIM_SHARD_SCOPE_BEGIN() static_cast<void>(0)\n"
+      "void f() {\n"
+      "  BIOSIM_SHARD_SCOPE_BEGIN();\n"
+      "}\n";
+  auto findings = LintFile("unclosed.cc", code);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, kCrossShardWrite);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
 // ---------------------------------------------------------------------------
 // Library level: the clean twin of every rule must produce zero findings.
 
@@ -158,6 +184,7 @@ TEST(BiosimLintTest, CleanFixturesHaveNoFindings) {
       "raw_rand_clean.cc",        "unordered_iter_clean.cc",
       "direct_deposit_clean.cc",  "fp_omp_reduction_clean.cc",
       "unchecked_io_clean.cc",    "hot_loop_virtual_clean.cc",
+      "cross_shard_clean.cc",
   };
   for (const char* name : clean) {
     auto findings = LintFixture(name);
@@ -174,6 +201,7 @@ TEST(BiosimLintTest, CorpusCoversAllRules) {
       "raw_rand_bad.cc",        "unordered_iter_bad.cc",
       "direct_deposit_bad.cc",  "fp_omp_reduction_bad.cc",
       "unchecked_io_bad.cc",    "hot_loop_virtual_bad.cc",
+      "cross_shard_bad.cc",
   };
   for (const char* name : bad) {
     for (const auto& f : LintFixture(name)) {

@@ -1,0 +1,31 @@
+// Fixture: shard scope that buffers its effects; the deposit applies
+// OUTSIDE the region in global row order, and the one sanctioned in-scope
+// write carries an allow() marker. No findings expected.
+#include <utility>
+#include <vector>
+
+#define BIOSIM_SHARD_SCOPE_BEGIN() static_cast<void>(0)
+#define BIOSIM_SHARD_SCOPE_END() static_cast<void>(0)
+
+namespace fixture {
+struct Grid {
+  void IncreaseConcentrationBy(int, double) {}
+};
+
+void StepShard(Grid* grid, const std::vector<int>& rows,
+               std::vector<std::pair<int, double>>* pending) {
+  BIOSIM_SHARD_SCOPE_BEGIN();
+  for (int row : rows) {
+    pending->emplace_back(row, 0.5);  // buffered for the global merge
+  }
+  // A reviewed exception stays visible at the call site:
+  // biosim-lint: allow(cross-shard-write, direct-deposit)
+  grid->IncreaseConcentrationBy(0, 0.0);
+  BIOSIM_SHARD_SCOPE_END();
+  // The sanctioned apply site: serial, ascending row order.
+  for (const auto& [row, amount] : *pending) {
+    // biosim-lint: allow(direct-deposit)
+    grid->IncreaseConcentrationBy(row, amount);
+  }
+}
+}  // namespace fixture

@@ -334,6 +334,70 @@ void CheckHotLoops(const std::vector<std::string>& code_lines,
   }
 }
 
+void CheckShardScopes(const std::vector<std::string>& code_lines,
+                      const std::vector<std::set<std::string>>& allowed,
+                      const std::string& path, const Options& opts,
+                      std::vector<Finding>* out) {
+  if (!RuleEnabled(opts, kCrossShardWrite)) {
+    return;
+  }
+  static const std::regex kBegin(R"(\bBIOSIM_SHARD_SCOPE_BEGIN\s*\()");
+  static const std::regex kEnd(R"(\bBIOSIM_SHARD_SCOPE_END\s*\()");
+  static const std::regex kDefine(R"(^\s*#\s*define\b)");
+  // Domain-global effects a per-shard scope must not apply directly: they
+  // either race between shards or commit in shard order, breaking the
+  // bitwise shard-count-invariance contract (docs/sharding.md). Buffer and
+  // merge in global row order instead. Barrier is banned for liveness: the
+  // phase join is the rank barrier; calling Communicator::Barrier from
+  // inside a work-stealing ParallelFor self-deadlocks when two ranks share
+  // a worker.
+  static const std::vector<std::pair<std::regex, const char*>> kBanned = [] {
+    std::vector<std::pair<std::regex, const char*>> v;
+    v.emplace_back(std::regex(R"((\.|->)\s*IncreaseConcentrationBy\s*\()"),
+                   "direct substance write");
+    v.emplace_back(std::regex(R"((\.|->)\s*AddAgent\s*\()"),
+                   "agent creation");
+    v.emplace_back(std::regex(R"((\.|->)\s*RemoveAgent\s*\()"),
+                   "agent removal");
+    v.emplace_back(std::regex(R"((\.|->)\s*Barrier\s*\()"),
+                   "Communicator::Barrier");
+    return v;
+  }();
+  int region_start = -1;  // 0-based line of the open BEGIN, or -1
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    if (std::regex_search(line, kDefine)) {
+      continue;  // the marker macro definitions themselves
+    }
+    if (region_start >= 0) {
+      for (const auto& [re, what] : kBanned) {
+        if (std::regex_search(line, re) &&
+            !Suppressed(allowed, i, kCrossShardWrite)) {
+          out->push_back(
+              {path, static_cast<int>(i) + 1, kCrossShardWrite,
+               std::string(what) +
+                   " inside a BIOSIM_SHARD_SCOPE region: a shard writes "
+                   "only its own rows; buffer the effect and merge it in "
+                   "global row order after the shard-parallel phase "
+                   "(Barrier additionally self-deadlocks under the "
+                   "work-stealing scheduler)"});
+        }
+      }
+    }
+    if (std::regex_search(line, kBegin)) {
+      region_start = static_cast<int>(i);
+    }
+    if (std::regex_search(line, kEnd)) {
+      region_start = -1;
+    }
+  }
+  if (region_start >= 0) {
+    out->push_back({path, region_start + 1, kCrossShardWrite,
+                    "BIOSIM_SHARD_SCOPE_BEGIN region is never closed in this "
+                    "file (missing BIOSIM_SHARD_SCOPE_END)"});
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() {
@@ -356,6 +420,10 @@ const std::vector<RuleInfo>& Rules() {
       {kHotLoopVirtual,
        "no dynamic_cast/typeid/std::function/virtual inside "
        "BIOSIM_HOT_LOOP regions"},
+      {kCrossShardWrite,
+       "no direct domain-global writes (IncreaseConcentrationBy, "
+       "AddAgent/RemoveAgent) or Communicator::Barrier inside "
+       "BIOSIM_SHARD_SCOPE regions"},
   };
   return kRules;
 }
@@ -498,6 +566,7 @@ std::vector<Finding> LintFile(const std::string& path,
   CheckUnorderedIteration(code, code_lines, allowed, path, opts, &out);
   CheckUncheckedIo(code, line_starts, allowed, path, opts, &out);
   CheckHotLoops(code_lines, allowed, path, opts, &out);
+  CheckShardScopes(code_lines, allowed, path, opts, &out);
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;

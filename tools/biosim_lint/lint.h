@@ -33,6 +33,7 @@ inline constexpr char kDirectDeposit[] = "direct-deposit";
 inline constexpr char kFpOmpReduction[] = "fp-omp-reduction";
 inline constexpr char kUncheckedIo[] = "unchecked-io";
 inline constexpr char kHotLoopVirtual[] = "hot-loop-virtual";
+inline constexpr char kCrossShardWrite[] = "cross-shard-write";
 
 struct RuleInfo {
   const char* id;

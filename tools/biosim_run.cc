@@ -3,7 +3,8 @@
 //   biosim_run [config.ini] [--steps N] [--backend cpu|gpu] [--threads N]
 //              [--cpu-fast-path BOOL] [--simd BOOL] [--precision fp64|fp32]
 //              [--zorder-every N] [--incremental-grid BOOL]
-//              [--overlap-ops BOOL] [--print-config]
+//              [--overlap-ops BOOL] [--shards N]
+//              [--shard-balance static|adaptive] [--print-config]
 //              [--sanitize] [--trace FILE] [--metrics FILE]
 //              [--metrics-every N] [--report FILE] [--json]
 //              [--perf-counters] [--flight-recorder FILE]
@@ -19,8 +20,16 @@
 // sweep runs the same config under several BIOSIM_THREADS values and
 // requires identical state hashes.
 //
+// --shards N runs the spatially sharded pipeline (docs/sharding.md): the
+// domain is cut into N z-plane ranges, each stepped by its own rank-like
+// shard with deterministic halo exchange. N = 0 (default) is the unsharded
+// pipeline. --shard-balance picks the plane split: static (equal planes) or
+// adaptive (equal load). Results are bitwise-identical for every N; the CI
+// determinism job sweeps --shards x BIOSIM_THREADS and requires one hash.
+//
 // --verify-determinism runs the configured scenario multiple times from
-// scratch (twice at the configured thread count plus once single-threaded),
+// scratch (twice at the configured thread count plus once single-threaded;
+// with --shards N also once unsharded and once at a different shard count),
 // hashes the full simulation state after every step, and compares the hash
 // sequences bitwise (docs/determinism.md). Prints the final state hash and
 // exits 0 when all runs are identical, 3 when they diverge. No configured
@@ -96,6 +105,7 @@ int main(int argc, char** argv) {
                  "[--threads N] [--cpu-fast-path BOOL] [--simd BOOL] "
                  "[--precision fp64|fp32] [--zorder-every N] "
                  "[--incremental-grid BOOL] [--overlap-ops BOOL] "
+                 "[--shards N] [--shard-balance static|adaptive] "
                  "[--print-config] [--sanitize] [--trace FILE] "
                  "[--metrics FILE] [--metrics-every N] [--report FILE] "
                  "[--json] [--perf-counters] [--flight-recorder FILE] "
@@ -141,6 +151,10 @@ int main(int argc, char** argv) {
             value == "1" || value == "true" || value == "on";
       } else if (FlagValue(argc, argv, &i, "--overlap-ops", &value)) {
         cfg.overlap_ops = value == "1" || value == "true" || value == "on";
+      } else if (FlagValue(argc, argv, &i, "--shards", &value)) {
+        cfg.shards = static_cast<uint32_t>(std::atoll(value.c_str()));
+      } else if (FlagValue(argc, argv, &i, "--shard-balance", &value)) {
+        cfg.shard_balance = value;
       } else if (FlagValue(argc, argv, &i, "--trace", &value)) {
         cfg.trace_path = value;
       } else if (FlagValue(argc, argv, &i, "--metrics-every", &value)) {
